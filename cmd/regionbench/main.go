@@ -1,0 +1,131 @@
+// Command regionbench regenerates the paper's evaluation tables over
+// the synthetic benchmark corpus (see DESIGN.md for the substitution
+// notes — absolute numbers differ from the paper's corpus; the shape
+// is what reproduces).
+//
+// Usage:
+//
+//	regionbench -table 7|8|11|all [-seed N] [-scale small|paper]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 7, 8, 11, or all")
+	seed := flag.Int64("seed", 2008, "corpus generation seed")
+	scale := flag.String("scale", "paper", "corpus scale: small or paper")
+	flag.Parse()
+
+	var specs []workloads.Spec
+	switch *scale {
+	case "paper":
+		specs = workloads.PaperCorpus()
+	case "small":
+		specs = workloads.SmallCorpus()
+	default:
+		fmt.Fprintf(os.Stderr, "regionbench: unknown -scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	pkgs := make([]*workloads.Package, len(specs))
+	for i, spec := range specs {
+		pkgs[i] = workloads.Generate(spec, *seed)
+	}
+
+	if *table == "7" || *table == "all" {
+		printFigure7(pkgs)
+	}
+	if *table == "8" || *table == "all" {
+		printFigure8(pkgs)
+	}
+	if *table == "11" || *table == "all" {
+		printFigure11(pkgs)
+	}
+}
+
+func analyze(pkg *workloads.Package, exe workloads.Exe) (*core.Analysis, error) {
+	return core.AnalyzeSource(core.Options{}, pkg.SourcesFor(exe))
+}
+
+func printFigure7(pkgs []*workloads.Package) {
+	fmt.Println("Figure 7. Benchmarks (synthetic corpus; KLOC scaled, see DESIGN.md).")
+	fmt.Printf("%-12s %8s %5s  %s\n", "package", "KLOC", "exe", "interface")
+	for _, p := range pkgs {
+		fmt.Printf("%-12s %8.1f %5d  %s\n", p.Spec.Name, p.KLOC, len(p.Exes), p.Spec.Interface)
+	}
+	fmt.Println()
+}
+
+func printFigure8(pkgs []*workloads.Package) {
+	fmt.Println("Figure 8. High-ranked warnings (unique causes) and inconsistencies (unique causes).")
+	fmt.Println("Measured causes cluster warnings by holder function; inconsistency counts are the planted ground truth.")
+	fmt.Printf("%-12s %14s %18s\n", "package", "high (cause)", "inconsistency (cause)")
+	totalHigh, totalHighCauses, totalInc, totalIncCauses := 0, 0, 0, 0
+	for _, p := range pkgs {
+		high, highCauses := 0, 0
+		for _, exe := range p.Exes {
+			a, err := analyze(p, exe)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "regionbench: %s: %v\n", exe.Name, err)
+				continue
+			}
+			high += a.Report.Stats.High
+			highCauses += a.Report.Stats.HighCauses
+		}
+		inc, incCauses := 0, 0
+		seenPattern := map[workloads.Pattern]bool{}
+		for _, pat := range p.Spec.Plants {
+			if pat.TrueBug() {
+				inc++
+				if !seenPattern[pat] {
+					seenPattern[pat] = true
+					incCauses++
+				}
+			}
+		}
+		fmt.Printf("%-12s %7d (%2d) %13d (%2d)\n", p.Spec.Name, high, highCauses, inc, incCauses)
+		totalHigh += high
+		totalHighCauses += highCauses
+		totalInc += inc
+		totalIncCauses += incCauses
+	}
+	fmt.Printf("%-12s %7d (%2d) %13d (%2d)\n", "total", totalHigh, totalHighCauses, totalInc, totalIncCauses)
+	fmt.Println()
+}
+
+func printFigure11(pkgs []*workloads.Package) {
+	fmt.Println("Figure 11. Quantitative results per executable.")
+	fmt.Printf("%-16s %9s %6s %7s %6s %7s %8s %9s %7s %7s %5s\n",
+		"executable", "time", "R", "H", "sub", "own", "heap", "R-pair", "O-pair", "I-pair", "high")
+	for _, p := range pkgs {
+		for _, exe := range p.Exes {
+			start := time.Now()
+			a, err := analyze(p, exe)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "regionbench: %s: %v\n", exe.Name, err)
+				continue
+			}
+			s := a.Report.Stats
+			fmt.Printf("%-16s %9s %6d %7d %6d %7d %8d %9d %7d %7d %5d\n",
+				shorten(exe.Name), time.Since(start).Round(time.Millisecond),
+				s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs, s.High)
+		}
+	}
+	fmt.Println()
+}
+
+func shorten(s string) string {
+	if len(s) <= 16 {
+		return s
+	}
+	return s[:13] + strings.Repeat(".", 3)
+}

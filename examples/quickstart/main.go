@@ -1,0 +1,79 @@
+// Quickstart: analyze the paper's Figure 1 connection/request example
+// in both its consistent form and a broken variant, and print the
+// reports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regionwiz "repro"
+)
+
+// The consistent Figure 1 program: the request lives in a subregion of
+// the connection's region, so req->connection can never dangle.
+const consistent = `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+
+struct conn_t { int fd; };
+struct req_t { struct conn_t *connection; };
+
+int main(void) {
+    region_t *r;
+    region_t *subr;
+    struct conn_t *conn;
+    struct req_t *req;
+
+    r = rnew(NULL);                /* connection region            */
+    conn = ralloc(r);              /* connection object            */
+    subr = rnew(r);                /* request region: subr < r     */
+    req = ralloc(subr);            /* request object               */
+    req->connection = conn;        /* access: safe, subr <= r      */
+    return 0;
+}
+`
+
+// The broken variant: subr is NOT a subregion of r (it hangs off the
+// root), so deleting r first leaves req->connection dangling.
+const broken = `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+
+struct conn_t { int fd; };
+struct req_t { struct conn_t *connection; };
+
+int main(void) {
+    region_t *r;
+    region_t *subr;
+    struct conn_t *conn;
+    struct req_t *req;
+
+    r = rnew(NULL);
+    conn = ralloc(r);
+    subr = rnew(NULL);             /* BUG: sibling, not subregion  */
+    req = ralloc(subr);
+    req->connection = conn;
+    return 0;
+}
+`
+
+func main() {
+	fmt.Println("== consistent Figure 1 program ==")
+	report, err := regionwiz.Analyze(regionwiz.Options{}, map[string]string{"fig1.c": consistent})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+
+	fmt.Println("\n== broken variant (sibling regions) ==")
+	report, err = regionwiz.Analyze(regionwiz.Options{}, map[string]string{"fig1broken.c": broken})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+}

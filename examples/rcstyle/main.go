@@ -1,0 +1,102 @@
+// Rcstyle: an rcc-like staged compiler on RC regions, showing why the
+// analysis needs heap cloning and context sensitivity — the same
+// helper creates many region/object instances that must be kept
+// distinct per call path — plus the dynamic RC baseline (deferred
+// deletion) the paper contrasts with static checking.
+//
+//	go run ./examples/rcstyle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regionwiz "repro"
+	"repro/regions"
+)
+
+// A compiler-shaped program: a per-pass region wrapped by helpers.
+// The string case from the paper's rcc study: an AST node keeps a
+// pointer to a string owned by an unrelated per-pass string table.
+const compilerC = `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+extern void *rstrdup(region_t *r);
+extern void deleteregion(region_t *r);
+
+struct ast_node { struct ast_node *left; struct ast_node *right; char *name; };
+typedef struct ast_node ast_node;
+
+region_t * new_pass_region(region_t *parent) { return rnew(parent); }
+ast_node * new_node(region_t *r) { return ralloc(r); }
+
+void parse_pass(region_t *unit, region_t *strings_region) {
+    region_t *pass;
+    ast_node *root;
+    ast_node *child;
+    char *ident;
+    pass = new_pass_region(unit);
+    root = new_node(unit);          /* AST outlives the pass       */
+    child = new_node(unit);
+    root->left = child;             /* safe: same region           */
+    ident = rstrdup(strings_region);
+    root->name = ident;             /* rcc bug: unrelated regions  */
+    deleteregion(pass);
+}
+
+int main(void) {
+    region_t *unit;
+    region_t *strings_region;
+    unit = rnew(NULL);
+    strings_region = rnew(NULL);
+    parse_pass(unit, strings_region);
+    deleteregion(strings_region);
+    deleteregion(unit);
+    return 0;
+}
+`
+
+func main() {
+	a, err := regionwiz.AnalyzeSource(regionwiz.Options{API: regionwiz.RCRegions()},
+		map[string]string{"compiler.c": compilerC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== rcc-style string-sharing bug ==")
+	fmt.Print(a.Report)
+	if a.Report.Stats.High == 0 {
+		log.Fatal("the string case should be high-ranked")
+	}
+
+	// The same run without heap cloning merges the two rnew(NULL)
+	// instances made through helpers on some corpora; on this one the
+	// report survives, but R shrinks — print both to show the knob.
+	u, err := regionwiz.AnalyzeSource(regionwiz.Options{
+		API:         regionwiz.RCRegions(),
+		HeapCloning: regionwiz.Bool(false),
+	}, map[string]string{"compiler.c": compilerC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nheap cloning on:  R=%d H=%d\n", a.Report.Stats.R, a.Report.Stats.H)
+	fmt.Printf("heap cloning off: R=%d H=%d (instances merged)\n",
+		u.Report.Stats.R, u.Report.Stats.H)
+
+	// The dynamic alternative: RC-style deferred deletion keeps the
+	// string table alive while the AST still references it — no
+	// crash, but the memory is pinned, which is exactly the paper's
+	// argument for fixing placements statically.
+	fmt.Println("\n== RC runtime baseline ==")
+	unit := regions.NewRCRoot()
+	strTable := regions.NewRCRoot()
+	strTable.AddRef() // root->name keeps a reference into strTable
+	if destroyed := strTable.Destroy(); destroyed {
+		log.Fatal("RC should defer deletion while referenced")
+	}
+	fmt.Printf("deleteregion(strings) deferred (refs=%d, deferred deletes=%d): memory pinned\n",
+		strTable.Refs(), strTable.DeferredDeletes)
+	strTable.DelRef()
+	fmt.Printf("last reference dropped: destroyed=%v\n", strTable.Destroyed())
+	unit.Destroy()
+}

@@ -1,0 +1,114 @@
+// Webserver: the staged-application scenario from the paper's
+// introduction, run on the repro/regions runtime — a server keeps a
+// pool per TCP connection and a subpool per HTTP request, allocates
+// connection-lifetime data from the parent and request-lifetime data
+// from the child, and tears everything down by deleting regions.
+//
+// The example then shows the two failure modes RegionWiz exists for:
+// a dangling reference caught at runtime by regions.Ref, and the same
+// mistake caught *statically* by analyzing the equivalent C code.
+//
+//	go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	regionwiz "repro"
+	"repro/regions"
+)
+
+type connState struct {
+	remote string
+	served int
+}
+
+type request struct {
+	path string
+	conn regions.Ref[connState]
+}
+
+func main() {
+	server := regions.NewRoot()
+
+	// One connection, three requests, all cleanly scoped.
+	connPool := server.NewChild()
+	conn := regions.NewIn[connState](connPool)
+	conn.Get().remote = "10.0.0.7"
+
+	for i := 0; i < 3; i++ {
+		reqPool := connPool.NewChild()
+		req := regions.NewIn[request](reqPool)
+		req.Get().path = fmt.Sprintf("/page/%d", i)
+		// A request pointing at its connection is the safe direction:
+		// reqPool is a subregion of connPool (Figure 2(b)).
+		if err := regions.CheckAssign(reqPool, connPool); err != nil {
+			log.Fatalf("unexpected hazard: %v", err)
+		}
+		req.Get().conn = conn
+		conn.Get().served++
+		fmt.Printf("served %s for %s\n", req.Get().path, req.Get().conn.Get().remote)
+		reqPool.Destroy() // request done: all request memory gone
+	}
+	fmt.Printf("connection served %d requests; alive subpools: %d\n",
+		conn.Get().served, connPool.NumChildren())
+
+	// The inconsistent placement: connection-lifetime data allocated
+	// in a request pool. CheckAssign flags the hazard up front...
+	reqPool := connPool.NewChild()
+	if err := regions.CheckAssign(connPool, reqPool); err != nil {
+		fmt.Printf("runtime check: %v\n", err)
+	}
+	// ...and if we ignore it, the Ref catches the dangle at use time.
+	leakyConnData := regions.NewIn[connState](reqPool)
+	reqPool.Destroy()
+	if _, err := leakyConnData.TryGet(); err != nil {
+		fmt.Printf("runtime catch: %v\n", err)
+	}
+
+	connPool.Destroy()
+	server.Destroy()
+
+	// Now the same bug in C, caught before the program ever runs.
+	fmt.Println("\n== static analysis of the same mistake ==")
+	report, err := regionwiz.Analyze(regionwiz.Options{}, map[string]string{"server.c": serverC})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(report)
+}
+
+// serverC is the C shape of the buggy placement above: the request
+// object keeps connection data allocated in the REQUEST's pool, while
+// a connection-lifetime table points at it.
+const serverC = `
+typedef struct apr_pool_t apr_pool_t;
+extern long apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void *apr_palloc(apr_pool_t *p, unsigned long size);
+extern void apr_pool_destroy(apr_pool_t *p);
+
+struct conn_state { int served; void *last_req; };
+struct request { const char *path; };
+
+void handle_request(apr_pool_t *connpool, struct conn_state *cs) {
+    apr_pool_t *reqpool;
+    struct request *req;
+    apr_pool_create(&reqpool, connpool);
+    req = apr_palloc(reqpool, sizeof(struct request));
+    cs->last_req = req;   /* BUG: connection object keeps request data */
+    apr_pool_destroy(reqpool);
+}
+
+int main(void) {
+    apr_pool_t *server;
+    apr_pool_t *connpool;
+    struct conn_state *cs;
+    apr_pool_create(&server, NULL);
+    apr_pool_create(&connpool, server);
+    cs = apr_palloc(connpool, sizeof(struct conn_state));
+    handle_request(connpool, cs);
+    apr_pool_destroy(server);
+    return 0;
+}
+`

@@ -1,0 +1,665 @@
+// Package bdd implements reduced ordered binary decision diagrams
+// (ROBDDs) with finite-domain support.
+//
+// It is a from-scratch substitute for the BuDDy package the paper's
+// RegionWiz prototype used to store context-sensitive relations
+// (Section 5.2). Nodes are hash-consed in a unique table, so structural
+// equality of BDDs is pointer (index) equality. All boolean operations
+// are memoized.
+//
+// The package is deliberately stdlib-only and single-threaded; a Manager
+// must not be shared between goroutines without external locking.
+package bdd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is an index into a Manager's node table. The constants False and
+// True are the two terminal nodes; all other values denote internal
+// nodes. A Node is only meaningful relative to the Manager that created
+// it.
+type Node int32
+
+// Terminal nodes.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// node is one entry of the node table. level is the variable index
+// (smaller level = closer to the root, tested first). Terminals carry
+// level == terminalLevel so comparisons against them always favour
+// internal nodes.
+type node struct {
+	level     int32
+	low, high Node
+}
+
+const terminalLevel = math.MaxInt32
+
+// opcode identifies a binary boolean operation for the memo cache.
+type opcode uint8
+
+const (
+	opAnd opcode = iota
+	opOr
+	opXor
+	opDiff // a AND NOT b
+	opImp  // a IMPLIES b
+	opBiimp
+)
+
+type cacheKey struct {
+	op   opcode
+	a, b Node
+}
+
+type quantKey struct {
+	op   opcode // opAnd for relprod, opOr unused
+	a, b Node
+	cube Node
+}
+
+type replaceKey struct {
+	n   Node
+	gen uint32 // generation of the replacement map
+}
+
+// Manager owns a node table and the operation caches. Create one with
+// New, allocate variables with AddVar or domains with NewDomain, and
+// build functions with Var, Not, And, Or, etc.
+type Manager struct {
+	nodes  []node
+	unique map[node]Node
+
+	binCache     map[cacheKey]Node
+	notCache     map[Node]Node
+	existsCache  map[quantKey]Node
+	andExCache   map[quantKey]Node
+	replaceCache map[replaceKey]Node
+	satCache     map[Node]float64
+
+	// replacement map state for Replace; gen invalidates the cache
+	// whenever the map changes.
+	replMap []int32
+	replGen uint32
+
+	numVars int
+
+	domains []*Domain
+}
+
+// New returns a Manager with no variables. Variables are added with
+// AddVar/AddVars or implicitly through NewDomain.
+func New() *Manager {
+	m := &Manager{
+		unique:       make(map[node]Node, 1024),
+		binCache:     make(map[cacheKey]Node, 4096),
+		notCache:     make(map[Node]Node, 1024),
+		existsCache:  make(map[quantKey]Node, 1024),
+		andExCache:   make(map[quantKey]Node, 1024),
+		replaceCache: make(map[replaceKey]Node, 1024),
+		satCache:     make(map[Node]float64, 256),
+	}
+	// Install the two terminals at indices 0 and 1.
+	m.nodes = append(m.nodes,
+		node{level: terminalLevel, low: False, high: False},
+		node{level: terminalLevel, low: True, high: True},
+	)
+	return m
+}
+
+// NumVars reports how many boolean variables have been allocated.
+func (m *Manager) NumVars() int { return m.numVars }
+
+// NumNodes reports the number of live entries in the node table,
+// including the two terminals.
+func (m *Manager) NumNodes() int { return len(m.nodes) }
+
+// AddVar allocates one fresh boolean variable and returns its index.
+func (m *Manager) AddVar() int {
+	v := m.numVars
+	m.numVars++
+	return v
+}
+
+// AddVars allocates n fresh variables and returns the index of the first.
+func (m *Manager) AddVars(n int) int {
+	v := m.numVars
+	m.numVars += n
+	return v
+}
+
+// mk returns the hash-consed node (level, low, high), applying the
+// standard reduction rule low==high => low.
+func (m *Manager) mk(level int32, low, high Node) Node {
+	if low == high {
+		return low
+	}
+	key := node{level: level, low: low, high: high}
+	if n, ok := m.unique[key]; ok {
+		return n
+	}
+	n := Node(len(m.nodes))
+	m.nodes = append(m.nodes, key)
+	m.unique[key] = n
+	return n
+}
+
+// Var returns the BDD for the single variable v.
+func (m *Manager) Var(v int) Node {
+	m.checkVar(v)
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for the negation of variable v.
+func (m *Manager) NVar(v int) Node {
+	m.checkVar(v)
+	return m.mk(int32(v), True, False)
+}
+
+func (m *Manager) checkVar(v int) {
+	if v < 0 || v >= m.numVars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.numVars))
+	}
+}
+
+// Level reports the variable tested at the root of n, or -1 for a
+// terminal.
+func (m *Manager) Level(n Node) int {
+	l := m.nodes[n].level
+	if l == terminalLevel {
+		return -1
+	}
+	return int(l)
+}
+
+// Low returns the low (variable=0) cofactor of n.
+func (m *Manager) Low(n Node) Node { return m.nodes[n].low }
+
+// High returns the high (variable=1) cofactor of n.
+func (m *Manager) High(n Node) Node { return m.nodes[n].high }
+
+// Not returns the complement of n.
+func (m *Manager) Not(n Node) Node {
+	switch n {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.notCache[n]; ok {
+		return r
+	}
+	nd := m.nodes[n]
+	r := m.mk(nd.level, m.Not(nd.low), m.Not(nd.high))
+	m.notCache[n] = r
+	return r
+}
+
+// And returns the conjunction of a and b.
+func (m *Manager) And(a, b Node) Node { return m.apply(opAnd, a, b) }
+
+// Or returns the disjunction of a and b.
+func (m *Manager) Or(a, b Node) Node { return m.apply(opOr, a, b) }
+
+// Xor returns the exclusive-or of a and b.
+func (m *Manager) Xor(a, b Node) Node { return m.apply(opXor, a, b) }
+
+// Diff returns a AND NOT b (set difference when BDDs encode sets).
+func (m *Manager) Diff(a, b Node) Node { return m.apply(opDiff, a, b) }
+
+// Imp returns a IMPLIES b.
+func (m *Manager) Imp(a, b Node) Node { return m.apply(opImp, a, b) }
+
+// Biimp returns a IFF b.
+func (m *Manager) Biimp(a, b Node) Node { return m.apply(opBiimp, a, b) }
+
+// AndN folds And over its arguments; AndN() == True.
+func (m *Manager) AndN(ns ...Node) Node {
+	r := True
+	for _, n := range ns {
+		r = m.And(r, n)
+		if r == False {
+			return False
+		}
+	}
+	return r
+}
+
+// OrN folds Or over its arguments; OrN() == False.
+func (m *Manager) OrN(ns ...Node) Node {
+	r := False
+	for _, n := range ns {
+		r = m.Or(r, n)
+		if r == True {
+			return True
+		}
+	}
+	return r
+}
+
+// terminalCase resolves op on (possibly) terminal operands. ok reports
+// whether the result is decided without recursion.
+func terminalCase(op opcode, a, b Node) (Node, bool) {
+	switch op {
+	case opAnd:
+		if a == False || b == False {
+			return False, true
+		}
+		if a == True {
+			return b, true
+		}
+		if b == True {
+			return a, true
+		}
+		if a == b {
+			return a, true
+		}
+	case opOr:
+		if a == True || b == True {
+			return True, true
+		}
+		if a == False {
+			return b, true
+		}
+		if b == False {
+			return a, true
+		}
+		if a == b {
+			return a, true
+		}
+	case opXor:
+		if a == b {
+			return False, true
+		}
+		if a == False {
+			return b, true
+		}
+		if b == False {
+			return a, true
+		}
+	case opDiff:
+		if a == False || b == True {
+			return False, true
+		}
+		if b == False {
+			return a, true
+		}
+		if a == b {
+			return False, true
+		}
+	case opImp:
+		if a == False || b == True {
+			return True, true
+		}
+		if a == True {
+			return b, true
+		}
+	case opBiimp:
+		if a == b {
+			return True, true
+		}
+		if a == True {
+			return b, true
+		}
+		if b == True {
+			return a, true
+		}
+	}
+	return False, false
+}
+
+// commutative reports whether op's operands can be swapped; used to
+// normalize cache keys.
+func commutative(op opcode) bool {
+	switch op {
+	case opAnd, opOr, opXor, opBiimp:
+		return true
+	}
+	return false
+}
+
+func (m *Manager) apply(op opcode, a, b Node) Node {
+	if r, ok := terminalCase(op, a, b); ok {
+		return r
+	}
+	ka, kb := a, b
+	if commutative(op) && ka > kb {
+		ka, kb = kb, ka
+	}
+	key := cacheKey{op, ka, kb}
+	if r, ok := m.binCache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	var level int32
+	var a0, a1, b0, b1 Node
+	switch {
+	case na.level == nb.level:
+		level, a0, a1, b0, b1 = na.level, na.low, na.high, nb.low, nb.high
+	case na.level < nb.level:
+		level, a0, a1, b0, b1 = na.level, na.low, na.high, b, b
+	default:
+		level, a0, a1, b0, b1 = nb.level, a, a, nb.low, nb.high
+	}
+	r := m.mk(level, m.apply(op, a0, b0), m.apply(op, a1, b1))
+	m.binCache[key] = r
+	return r
+}
+
+// Ite returns if-then-else: (f AND g) OR (NOT f AND h).
+func (m *Manager) Ite(f, g, h Node) Node {
+	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+}
+
+// Cube returns the conjunction of the given variables, used as the
+// quantification set for Exists/AndExists.
+func (m *Manager) Cube(vars []int) Node {
+	r := True
+	for _, v := range vars {
+		r = m.And(r, m.Var(v))
+	}
+	return r
+}
+
+// Exists existentially quantifies away every variable in cube from n.
+// cube must be a positive cube (conjunction of variables), e.g. from
+// Cube.
+func (m *Manager) Exists(n, cube Node) Node {
+	if n == False || n == True || cube == True {
+		return n
+	}
+	key := quantKey{op: opOr, a: n, cube: cube}
+	if r, ok := m.existsCache[key]; ok {
+		return r
+	}
+	nn := m.nodes[n]
+	// Advance the cube past variables above n's root.
+	c := cube
+	for m.nodes[c].level < nn.level {
+		c = m.nodes[c].high
+		if c == True {
+			m.existsCache[key] = n
+			return n
+		}
+	}
+	var r Node
+	if m.nodes[c].level == nn.level {
+		// Quantify this variable: OR of cofactors.
+		r = m.Or(m.Exists(nn.low, m.nodes[c].high), m.Exists(nn.high, m.nodes[c].high))
+	} else {
+		r = m.mk(nn.level, m.Exists(nn.low, c), m.Exists(nn.high, c))
+	}
+	m.existsCache[key] = r
+	return r
+}
+
+// AndExists computes Exists(cube, a AND b) without materializing the
+// conjunction — the relational product at the heart of points-to
+// propagation.
+func (m *Manager) AndExists(a, b, cube Node) Node {
+	if a == False || b == False {
+		return False
+	}
+	if a == True && b == True {
+		return True
+	}
+	if cube == True {
+		return m.And(a, b)
+	}
+	if a == True {
+		return m.Exists(b, cube)
+	}
+	if b == True {
+		return m.Exists(a, cube)
+	}
+	ka, kb := a, b
+	if ka > kb {
+		ka, kb = kb, ka
+	}
+	key := quantKey{op: opAnd, a: ka, b: kb, cube: cube}
+	if r, ok := m.andExCache[key]; ok {
+		return r
+	}
+	na, nb := m.nodes[a], m.nodes[b]
+	level := na.level
+	if nb.level < level {
+		level = nb.level
+	}
+	a0, a1 := a, a
+	if na.level == level {
+		a0, a1 = na.low, na.high
+	}
+	b0, b1 := b, b
+	if nb.level == level {
+		b0, b1 = nb.low, nb.high
+	}
+	c := cube
+	for m.nodes[c].level < level {
+		c = m.nodes[c].high
+	}
+	var r Node
+	if c != True && m.nodes[c].level == level {
+		rest := m.nodes[c].high
+		r = m.Or(m.AndExists(a0, b0, rest), m.AndExists(a1, b1, rest))
+	} else {
+		r = m.mk(level, m.AndExists(a0, b0, c), m.AndExists(a1, b1, c))
+	}
+	m.andExCache[key] = r
+	return r
+}
+
+// Replace renames variables of n according to map from[i] -> to[i].
+// The mapping must be order-preserving on the support of n (mapping a
+// variable to one at a different relative position among mapped
+// variables is rejected at construction in NewVarMap).
+func (m *Manager) Replace(n Node, vm *VarMap) Node {
+	if vm.m != m {
+		panic("bdd: VarMap used with wrong Manager")
+	}
+	if len(m.replMap) != m.numVars {
+		m.replMap = make([]int32, m.numVars)
+	}
+	for i := range m.replMap {
+		m.replMap[i] = int32(i)
+	}
+	for i, from := range vm.from {
+		m.replMap[from] = int32(vm.to[i])
+	}
+	m.replGen++
+	return m.replaceRec(n)
+}
+
+func (m *Manager) replaceRec(n Node) Node {
+	if n == False || n == True {
+		return n
+	}
+	key := replaceKey{n: n, gen: m.replGen}
+	if r, ok := m.replaceCache[key]; ok {
+		return r
+	}
+	nd := m.nodes[n]
+	low := m.replaceRec(nd.low)
+	high := m.replaceRec(nd.high)
+	nl := m.replMap[nd.level]
+	r := m.correctify(nl, low, high)
+	m.replaceCache[key] = r
+	return r
+}
+
+// correctify rebuilds a node whose new level may sit below the roots of
+// its children (when renaming moves a variable down). It mirrors the
+// BuDDy correctify step.
+func (m *Manager) correctify(level int32, low, high Node) Node {
+	ll, hl := m.nodes[low].level, m.nodes[high].level
+	if level < ll && level < hl {
+		return m.mk(level, low, high)
+	}
+	if level == ll || level == hl {
+		panic("bdd: replace produced overlapping variable levels")
+	}
+	// The new variable sits below at least one child's root: push it
+	// down by Shannon expansion on the topmost child variable.
+	top := ll
+	if hl < top {
+		top = hl
+	}
+	var l0, l1 Node = low, low
+	if ll == top {
+		l0, l1 = m.nodes[low].low, m.nodes[low].high
+	}
+	var h0, h1 Node = high, high
+	if hl == top {
+		h0, h1 = m.nodes[high].low, m.nodes[high].high
+	}
+	return m.mk(top, m.correctify(level, l0, h0), m.correctify(level, l1, h1))
+}
+
+// VarMap is a variable renaming prepared for Manager.Replace.
+type VarMap struct {
+	m        *Manager
+	from, to []int
+}
+
+// NewVarMap builds a renaming mapping from[i] to to[i]. Both slices
+// must have equal length, contain valid distinct variables, and the
+// mapping must preserve relative order of the mapped variables.
+func (m *Manager) NewVarMap(from, to []int) *VarMap {
+	if len(from) != len(to) {
+		panic("bdd: NewVarMap slices of unequal length")
+	}
+	for i := range from {
+		m.checkVar(from[i])
+		m.checkVar(to[i])
+	}
+	for i := 0; i < len(from); i++ {
+		for j := i + 1; j < len(from); j++ {
+			if (from[i] < from[j]) != (to[i] < to[j]) {
+				panic("bdd: NewVarMap does not preserve variable order")
+			}
+		}
+	}
+	return &VarMap{m: m, from: append([]int(nil), from...), to: append([]int(nil), to...)}
+}
+
+// SatCount returns the number of satisfying assignments of n over all
+// allocated variables.
+func (m *Manager) SatCount(n Node) float64 {
+	return m.satCountRec(n) * math.Pow(2, float64(m.levelOf(n)))
+}
+
+func (m *Manager) levelOf(n Node) int {
+	l := m.nodes[n].level
+	if l == terminalLevel {
+		return m.numVars
+	}
+	return int(l)
+}
+
+// satCountRec counts assignments over variables strictly below n's root
+// level, normalized so multiplying by 2^rootLevel gives the full count.
+func (m *Manager) satCountRec(n Node) float64 {
+	if n == False {
+		return 0
+	}
+	if n == True {
+		return 1
+	}
+	if c, ok := m.satCache[n]; ok {
+		return c
+	}
+	nd := m.nodes[n]
+	low := m.satCountRec(nd.low) * math.Pow(2, float64(m.levelOf(nd.low)-int(nd.level)-1))
+	high := m.satCountRec(nd.high) * math.Pow(2, float64(m.levelOf(nd.high)-int(nd.level)-1))
+	c := low + high
+	m.satCache[n] = c
+	return c
+}
+
+// AllSat invokes fn for every satisfying assignment of n restricted to
+// the given variables (each must appear in increasing order). Variables
+// outside the support of n are enumerated explicitly, so keep vars
+// small. fn receives a slice valid only for the duration of the call;
+// returning false stops enumeration early.
+func (m *Manager) AllSat(n Node, vars []int, fn func(assignment []bool) bool) {
+	for i := 1; i < len(vars); i++ {
+		if vars[i-1] >= vars[i] {
+			panic("bdd: AllSat vars must be strictly increasing")
+		}
+	}
+	assign := make([]bool, len(vars))
+	m.allSatRec(n, vars, 0, assign, fn)
+}
+
+func (m *Manager) allSatRec(n Node, vars []int, i int, assign []bool, fn func([]bool) bool) bool {
+	if n == False {
+		return true
+	}
+	if i == len(vars) {
+		// Remaining support must be empty for a unique assignment over
+		// vars; if n is not True some unmapped variable is constrained,
+		// but the assignment over vars is still satisfying for some
+		// extension, so report it.
+		return fn(assign)
+	}
+	level := m.nodes[n].level
+	v := int32(vars[i])
+	switch {
+	case n == True || level > v:
+		// n does not constrain vars[i]: both values.
+		assign[i] = false
+		if !m.allSatRec(n, vars, i+1, assign, fn) {
+			return false
+		}
+		assign[i] = true
+		return m.allSatRec(n, vars, i+1, assign, fn)
+	case level == v:
+		nd := m.nodes[n]
+		assign[i] = false
+		if !m.allSatRec(nd.low, vars, i+1, assign, fn) {
+			return false
+		}
+		assign[i] = true
+		return m.allSatRec(nd.high, vars, i+1, assign, fn)
+	default:
+		// n tests a variable before vars[i]: branch on it without
+		// recording.
+		nd := m.nodes[n]
+		if !m.allSatRec(nd.low, vars, i, assign, fn) {
+			return false
+		}
+		return m.allSatRec(nd.high, vars, i, assign, fn)
+	}
+}
+
+// Support returns the set of variables tested anywhere in n, ascending.
+func (m *Manager) Support(n Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int]bool)
+	var walk func(Node)
+	walk = func(x Node) {
+		if x == False || x == True || seen[x] {
+			return
+		}
+		seen[x] = true
+		nd := m.nodes[x]
+		vars[int(nd.level)] = true
+		walk(nd.low)
+		walk(nd.high)
+	}
+	walk(n)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	// insertion sort; support sets are small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}

@@ -1,0 +1,856 @@
+package cminor
+
+import "fmt"
+
+// Parser builds a File from tokens. It keeps a registry of typedef and
+// struct names so casts can be distinguished from parenthesized
+// expressions the way a C compiler does.
+type Parser struct {
+	lx   *Lexer
+	tok  Token
+	peek Token
+	errs []*Error
+
+	typedefs   map[string]bool
+	lastParams []string // names from the most recent parseParamTypes
+	anonCount  int
+}
+
+// Parse parses one CMinor translation unit.
+func Parse(path, src string) (*File, []*Error) {
+	p := &Parser{lx: NewLexer(path, src), typedefs: make(map[string]bool)}
+	p.tok = p.lx.Next()
+	p.peek = p.lx.Next()
+	f := &File{Path: path}
+	for p.tok.Kind != EOF {
+		before := p.tok
+		d := p.parseTopDecl()
+		if d != nil {
+			f.Decls = append(f.Decls, d...)
+		}
+		if p.tok == before && p.tok.Kind != EOF {
+			// No progress: skip the offending token to avoid loops.
+			p.errorf(p.tok.Pos, "unexpected %s", p.tok)
+			p.next()
+		}
+	}
+	p.errs = append(p.errs, p.lx.Errors()...)
+	return f, p.errs
+}
+
+func (p *Parser) next() {
+	p.tok = p.peek
+	p.peek = p.lx.Next()
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...interface{}) {
+	if len(p.errs) < 100 {
+		p.errs = append(p.errs, errf(pos, format, args...))
+	}
+}
+
+func (p *Parser) expect(k Kind) Token {
+	t := p.tok
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+		return Token{Kind: k, Pos: t.Pos}
+	}
+	p.next()
+	return t
+}
+
+func (p *Parser) accept(k Kind) bool {
+	if p.tok.Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// isTypeStart reports whether t begins a type.
+func (p *Parser) isTypeStart(t Token) bool {
+	switch t.Kind {
+	case KwInt, KwChar, KwLong, KwUnsigned, KwVoid, KwStruct, KwUnion, KwConst, KwEnum:
+		return true
+	case IDENT:
+		return p.typedefs[t.Text]
+	}
+	return false
+}
+
+// --- Declarations ---
+
+func (p *Parser) parseTopDecl() []Decl {
+	switch p.tok.Kind {
+	case Semi:
+		p.next()
+		return nil
+	case KwTypedef:
+		return p.parseTypedef()
+	case KwStruct, KwUnion:
+		// Either a struct declaration/definition or a declaration whose
+		// base type is a struct. Distinguish by what follows the tag.
+		if p.peek.Kind == IDENT {
+			// struct NAME { ... } ; or struct NAME ; or struct NAME decl
+			return p.parseStructOrDecl()
+		}
+		fallthrough
+	case KwEnum:
+		if p.tok.Kind == KwEnum {
+			return p.parseDeclaration(true)
+		}
+		fallthrough
+	default:
+		return p.parseDeclaration(true)
+	}
+}
+
+func (p *Parser) parseTypedef() []Decl {
+	pos := p.expect(KwTypedef).Pos
+	base := p.parseTypeSpecifier()
+	var decls []Decl
+	// A typedef of a struct or enum definition also declares it.
+	if sd, ok := pendingStruct(base); ok {
+		decls = append(decls, sd)
+	}
+	if ed, ok := pendingEnum(base); ok {
+		decls = append(decls, ed)
+	}
+	for {
+		name, te := p.parseDeclarator(base)
+		if name == "" {
+			p.errorf(p.tok.Pos, "typedef requires a name")
+			break
+		}
+		p.typedefs[name] = true
+		decls = append(decls, &TypedefDecl{Pos: pos, Name: name, Type: te})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	p.expect(Semi)
+	return decls
+}
+
+// pendingStruct extracts a struct definition smuggled through a
+// TypeExpr by parseTypeSpecifier (for "typedef struct {...} T;").
+func pendingStruct(te TypeExpr) (*StructDecl, bool) {
+	if s, ok := te.(*structDefTE); ok {
+		return s.def, true
+	}
+	return nil, false
+}
+
+// structDefTE carries an inline struct definition; it behaves as a
+// StructTE referencing the definition's tag.
+type structDefTE struct {
+	StructTE
+	def *StructDecl
+}
+
+// enumDefTE carries an inline enum definition.
+type enumDefTE struct {
+	EnumTE
+	def *EnumDecl
+}
+
+// pendingEnum extracts an enum definition smuggled through a TypeExpr.
+func pendingEnum(te TypeExpr) (*EnumDecl, bool) {
+	if e, ok := te.(*enumDefTE); ok {
+		return e.def, true
+	}
+	return nil, false
+}
+
+func (p *Parser) parseStructOrDecl() []Decl {
+	kw := p.tok.Kind
+	union := kw == KwUnion
+	startPos := p.tok.Pos
+	tag := p.peek.Text
+	// Three cases after "struct NAME": "{" definition, ";" forward
+	// declaration, else it is the base type of a declaration.
+	p.next() // struct
+	p.next() // NAME
+	switch p.tok.Kind {
+	case LBrace:
+		sd := p.parseStructBody(startPos, tag, union)
+		p.expect(Semi)
+		return []Decl{sd}
+	case Semi:
+		p.next()
+		return []Decl{&StructDecl{Pos: startPos, Name: tag, Union: union, Opaque: true}}
+	default:
+		base := TypeExpr(&StructTE{Name: tag, Union: union})
+		return p.parseDeclarationFrom(startPos, base, true)
+	}
+}
+
+func (p *Parser) parseStructBody(pos Pos, tag string, union bool) *StructDecl {
+	p.expect(LBrace)
+	sd := &StructDecl{Pos: pos, Name: tag, Union: union}
+	for p.tok.Kind != RBrace && p.tok.Kind != EOF {
+		base := p.parseTypeSpecifier()
+		for {
+			name, te := p.parseDeclarator(base)
+			if name == "" {
+				p.errorf(p.tok.Pos, "struct field requires a name")
+				break
+			}
+			sd.Fields = append(sd.Fields, FieldDecl{Pos: p.tok.Pos, Name: name, Type: te})
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		p.expect(Semi)
+	}
+	p.expect(RBrace)
+	return sd
+}
+
+// parseEnumBody parses { A, B = 3, C }.
+func (p *Parser) parseEnumBody(pos Pos, tag string) *EnumDecl {
+	p.expect(LBrace)
+	ed := &EnumDecl{Pos: pos, Name: tag}
+	for p.tok.Kind != RBrace && p.tok.Kind != EOF {
+		itemPos := p.tok.Pos
+		name := p.expect(IDENT).Text
+		var value Expr
+		if p.accept(Assign) {
+			value = p.parseCondExpr()
+		}
+		ed.Items = append(ed.Items, EnumItem{Pos: itemPos, Name: name, Value: value})
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	p.expect(RBrace)
+	return ed
+}
+
+// parseTypeSpecifier parses the leading type of a declaration:
+// builtins, struct/union references or inline definitions, typedef
+// names. Qualifiers (const) and storage hints handled by callers.
+func (p *Parser) parseTypeSpecifier() TypeExpr {
+	for p.tok.Kind == KwConst {
+		p.next()
+	}
+	defer func() {
+		for p.tok.Kind == KwConst {
+			p.next()
+		}
+	}()
+	switch p.tok.Kind {
+	case KwInt:
+		p.next()
+		return &NameTE{Name: "int"}
+	case KwChar:
+		p.next()
+		return &NameTE{Name: "char"}
+	case KwLong:
+		p.next()
+		p.accept(KwLong) // long long
+		p.accept(KwInt)  // long int
+		return &NameTE{Name: "long"}
+	case KwUnsigned:
+		p.next()
+		// unsigned [int|char|long]
+		switch p.tok.Kind {
+		case KwChar:
+			p.next()
+			return &NameTE{Name: "char"}
+		case KwLong:
+			p.next()
+			return &NameTE{Name: "long"}
+		case KwInt:
+			p.next()
+		}
+		return &NameTE{Name: "unsigned"}
+	case KwVoid:
+		p.next()
+		return &NameTE{Name: "void"}
+	case KwStruct, KwUnion:
+		union := p.tok.Kind == KwUnion
+		pos := p.tok.Pos
+		p.next()
+		tag := ""
+		if p.tok.Kind == IDENT {
+			tag = p.tok.Text
+			p.next()
+		}
+		if p.tok.Kind == LBrace {
+			if tag == "" {
+				p.anonCount++
+				tag = fmt.Sprintf("__anon%d", p.anonCount)
+			}
+			sd := p.parseStructBody(pos, tag, union)
+			return &structDefTE{StructTE: StructTE{Name: tag, Union: union}, def: sd}
+		}
+		if tag == "" {
+			p.errorf(pos, "anonymous struct without body")
+		}
+		return &StructTE{Name: tag, Union: union}
+	case KwEnum:
+		pos := p.tok.Pos
+		p.next()
+		tag := ""
+		if p.tok.Kind == IDENT {
+			tag = p.tok.Text
+			p.next()
+		}
+		if p.tok.Kind == LBrace {
+			if tag == "" {
+				p.anonCount++
+				tag = fmt.Sprintf("__anonenum%d", p.anonCount)
+			}
+			ed := p.parseEnumBody(pos, tag)
+			return &enumDefTE{EnumTE: EnumTE{Name: tag}, def: ed}
+		}
+		if tag == "" {
+			p.errorf(pos, "anonymous enum without body")
+		}
+		return &EnumTE{Name: tag}
+	case IDENT:
+		if p.typedefs[p.tok.Text] {
+			name := p.tok.Text
+			p.next()
+			return &NameTE{Name: name}
+		}
+	}
+	p.errorf(p.tok.Pos, "expected type, found %s", p.tok)
+	p.next()
+	return &NameTE{Name: "int"}
+}
+
+// parseDeclarator parses pointer stars, the declared name (possibly a
+// parenthesized function-pointer form), and array/function suffixes.
+// It returns the name ("" for abstract declarators) and the full type.
+func (p *Parser) parseDeclarator(base TypeExpr) (string, TypeExpr) {
+	t := base
+	for p.tok.Kind == Star {
+		p.next()
+		for p.tok.Kind == KwConst {
+			p.next()
+		}
+		t = &PtrTE{Elem: t}
+	}
+	// Function pointer: ( * name ) ( params )
+	if p.tok.Kind == LParen && p.peek.Kind == Star {
+		p.next() // (
+		p.next() // *
+		name := ""
+		if p.tok.Kind == IDENT {
+			name = p.tok.Text
+			p.next()
+		}
+		p.expect(RParen)
+		params, variadic := p.parseParamTypes()
+		return name, &PtrTE{Elem: &FuncTE{Ret: t, Params: params, Variadic: variadic}}
+	}
+	name := ""
+	if p.tok.Kind == IDENT {
+		name = p.tok.Text
+		p.next()
+	}
+	// Array suffixes.
+	for p.tok.Kind == LBrack {
+		p.next()
+		n := int64(1)
+		if p.tok.Kind == INTLIT {
+			n = p.tok.Val
+			p.next()
+		}
+		p.expect(RBrack)
+		t = &ArrayTE{Elem: t, N: n}
+	}
+	// Function suffix (prototype or definition head).
+	if p.tok.Kind == LParen {
+		params, variadic := p.parseParamTypes()
+		t = &FuncTE{Ret: t, Params: params, Variadic: variadic}
+	}
+	return name, t
+}
+
+// parseParamTypes parses a parenthesized parameter list. It records
+// the parameter names of the OUTERMOST list parsed in p.lastParams
+// (assigned on return, so nested function-pointer parameter lists do
+// not clobber an in-progress outer list).
+func (p *Parser) parseParamTypes() ([]TypeExpr, bool) {
+	p.expect(LParen)
+	var types []TypeExpr
+	var names []string
+	variadic := false
+	switch {
+	case p.tok.Kind == RParen:
+		p.next()
+	case p.tok.Kind == KwVoid && p.peek.Kind == RParen:
+		p.next()
+		p.next()
+	default:
+		for {
+			if p.tok.Kind == Ellipsis {
+				p.next()
+				variadic = true
+				break
+			}
+			base := p.parseTypeSpecifier()
+			name, te := p.parseDeclarator(base)
+			types = append(types, te)
+			names = append(names, name)
+			if !p.accept(Comma) {
+				break
+			}
+		}
+		p.expect(RParen)
+	}
+	p.lastParams = names
+	return types, variadic
+}
+
+// parseDeclaration parses a declaration starting at the current token
+// (storage specifiers, base type, declarators). top selects whether
+// function bodies are allowed.
+func (p *Parser) parseDeclaration(top bool) []Decl {
+	pos := p.tok.Pos
+	extern := false
+	for p.tok.Kind == KwExtern || p.tok.Kind == KwStatic {
+		extern = extern || p.tok.Kind == KwExtern
+		p.next()
+	}
+	base := p.parseTypeSpecifier()
+	var decls []Decl
+	if sd, ok := pendingStruct(base); ok {
+		decls = append(decls, sd)
+		if p.tok.Kind == Semi {
+			p.next()
+			return decls
+		}
+	}
+	if ed, ok := pendingEnum(base); ok {
+		decls = append(decls, ed)
+		if p.tok.Kind == Semi {
+			p.next()
+			return decls
+		}
+	}
+	rest := p.parseDeclarationFrom(pos, base, top)
+	// Mark externs.
+	for _, d := range rest {
+		if fd, ok := d.(*FuncDecl); ok && extern {
+			fd.Extern = true
+		}
+	}
+	return append(decls, rest...)
+}
+
+// parseDeclarationFrom continues a declaration whose base type is
+// already parsed.
+func (p *Parser) parseDeclarationFrom(pos Pos, base TypeExpr, top bool) []Decl {
+	var decls []Decl
+	for {
+		name, te := p.parseDeclarator(base)
+		if fn, ok := te.(*FuncTE); ok && name != "" {
+			params := make([]Param, len(fn.Params))
+			for i := range fn.Params {
+				pname := ""
+				if i < len(p.lastParams) {
+					pname = p.lastParams[i]
+				}
+				params[i] = Param{Name: pname, Type: fn.Params[i], Pos: pos}
+			}
+			fd := &FuncDecl{Pos: pos, Name: name, Ret: fn.Ret, Params: params, Variadic: fn.Variadic}
+			if p.tok.Kind == LBrace {
+				if !top {
+					p.errorf(p.tok.Pos, "nested function definition")
+				}
+				fd.Body = p.parseBlock()
+				return append(decls, fd)
+			}
+			fd.Extern = true // prototype without body
+			decls = append(decls, fd)
+		} else {
+			if name == "" {
+				p.errorf(p.tok.Pos, "declaration requires a name")
+			}
+			vd := &VarDecl{Pos: pos, Name: name, Type: te}
+			if p.accept(Assign) {
+				vd.Init = p.parseAssignExpr()
+			}
+			decls = append(decls, vd)
+		}
+		if !p.accept(Comma) {
+			break
+		}
+	}
+	p.expect(Semi)
+	return decls
+}
+
+// --- Statements ---
+
+func (p *Parser) parseBlock() *Block {
+	b := &Block{Pos: p.tok.Pos}
+	p.expect(LBrace)
+	for p.tok.Kind != RBrace && p.tok.Kind != EOF {
+		before := p.tok
+		b.Stmts = append(b.Stmts, p.parseStmt()...)
+		if p.tok == before {
+			p.errorf(p.tok.Pos, "unexpected %s in block", p.tok)
+			p.next()
+		}
+	}
+	p.expect(RBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() []Stmt {
+	switch p.tok.Kind {
+	case LBrace:
+		return []Stmt{p.parseBlock()}
+	case Semi:
+		pos := p.tok.Pos
+		p.next()
+		return []Stmt{&Empty{Pos: pos}}
+	case KwIf:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		then := p.parseSingleStmt()
+		var els Stmt
+		if p.accept(KwElse) {
+			els = p.parseSingleStmt()
+		}
+		return []Stmt{&If{Pos: pos, Cond: cond, Then: then, Else: els}}
+	case KwWhile:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		body := p.parseSingleStmt()
+		return []Stmt{&While{Pos: pos, Cond: cond, Body: body}}
+	case KwDo:
+		pos := p.tok.Pos
+		p.next()
+		body := p.parseSingleStmt()
+		p.expect(KwWhile)
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		p.expect(Semi)
+		return []Stmt{&While{Pos: pos, Cond: cond, Body: body, DoWhile: true}}
+	case KwFor:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(LParen)
+		var init Stmt
+		if p.tok.Kind != Semi {
+			if p.isTypeStart(p.tok) {
+				ds := p.parseDeclaration(false)
+				if len(ds) > 0 {
+					if vd, ok := ds[0].(*VarDecl); ok {
+						init = &DeclStmt{Decl: vd}
+					}
+				}
+			} else {
+				e := p.parseExpr()
+				init = &ExprStmt{Pos: e.exprPos(), X: e}
+				p.expect(Semi)
+			}
+		} else {
+			p.next()
+		}
+		var cond Expr
+		if p.tok.Kind != Semi {
+			cond = p.parseExpr()
+		}
+		p.expect(Semi)
+		var post Expr
+		if p.tok.Kind != RParen {
+			post = p.parseExpr()
+		}
+		p.expect(RParen)
+		body := p.parseSingleStmt()
+		return []Stmt{&For{Pos: pos, Init: init, Cond: cond, Post: post, Body: body}}
+	case KwSwitch:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(LParen)
+		cond := p.parseExpr()
+		p.expect(RParen)
+		p.expect(LBrace)
+		sw := &Switch{Pos: pos, Cond: cond}
+		var cur *SwitchCase
+		for p.tok.Kind != RBrace && p.tok.Kind != EOF {
+			switch p.tok.Kind {
+			case KwCase:
+				cpos := p.tok.Pos
+				p.next()
+				v := p.parseCondExpr()
+				p.expect(Colon)
+				if cur == nil || len(cur.Body) > 0 || cur.Default {
+					sw.Cases = append(sw.Cases, SwitchCase{Pos: cpos})
+					cur = &sw.Cases[len(sw.Cases)-1]
+				}
+				cur.Values = append(cur.Values, v)
+			case KwDefault:
+				cpos := p.tok.Pos
+				p.next()
+				p.expect(Colon)
+				sw.Cases = append(sw.Cases, SwitchCase{Pos: cpos, Default: true})
+				cur = &sw.Cases[len(sw.Cases)-1]
+			default:
+				if cur == nil {
+					p.errorf(p.tok.Pos, "statement before first case label")
+					sw.Cases = append(sw.Cases, SwitchCase{Pos: p.tok.Pos, Default: true})
+					cur = &sw.Cases[len(sw.Cases)-1]
+				}
+				before := p.tok
+				cur.Body = append(cur.Body, p.parseStmt()...)
+				if p.tok == before {
+					p.errorf(p.tok.Pos, "unexpected %s in switch", p.tok)
+					p.next()
+				}
+			}
+		}
+		p.expect(RBrace)
+		return []Stmt{sw}
+	case KwReturn:
+		pos := p.tok.Pos
+		p.next()
+		var x Expr
+		if p.tok.Kind != Semi {
+			x = p.parseExpr()
+		}
+		p.expect(Semi)
+		return []Stmt{&Return{Pos: pos, X: x}}
+	case KwBreak:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(Semi)
+		return []Stmt{&Break{Pos: pos}}
+	case KwContinue:
+		pos := p.tok.Pos
+		p.next()
+		p.expect(Semi)
+		return []Stmt{&Continue{Pos: pos}}
+	}
+	if p.isTypeStart(p.tok) && !(p.tok.Kind == IDENT && p.peek.Kind != IDENT && p.peek.Kind != Star) {
+		// A local declaration. The guard above keeps expressions that
+		// merely start with a typedef-registered identifier (rare)
+		// from being misparsed; "T x" and "T *x" are declarations.
+		decls := p.parseDeclaration(false)
+		stmts := make([]Stmt, 0, len(decls))
+		for _, d := range decls {
+			if vd, ok := d.(*VarDecl); ok {
+				stmts = append(stmts, &DeclStmt{Decl: vd})
+			} else {
+				p.errorf(d.declPos(), "unsupported declaration in block")
+			}
+		}
+		return stmts
+	}
+	e := p.parseExpr()
+	p.expect(Semi)
+	return []Stmt{&ExprStmt{Pos: e.exprPos(), X: e}}
+}
+
+func (p *Parser) parseSingleStmt() Stmt {
+	ss := p.parseStmt()
+	if len(ss) == 1 {
+		return ss[0]
+	}
+	return &Block{Pos: p.tok.Pos, Stmts: ss}
+}
+
+// --- Expressions ---
+
+func (p *Parser) parseExpr() Expr { return p.parseAssignExpr() }
+
+func (p *Parser) parseAssignExpr() Expr {
+	lhs := p.parseCondExpr()
+	switch p.tok.Kind {
+	case Assign, PlusAssign, MinusAssign:
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseAssignExpr()
+		return &AssignExpr{Pos: pos, Op: op, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() Expr {
+	c := p.parseBinaryExpr(0)
+	if p.tok.Kind == Question {
+		pos := p.tok.Pos
+		p.next()
+		t := p.parseAssignExpr()
+		p.expect(Colon)
+		f := p.parseCondExpr()
+		return &CondExpr{Pos: pos, Cond: c, Then: t, Else: f}
+	}
+	return c
+}
+
+// binary operator precedence, higher binds tighter.
+func binPrec(k Kind) int {
+	switch k {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case Eq, Neq:
+		return 6
+	case Lt, Gt, Le, Ge:
+		return 7
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) Expr {
+	lhs := p.parseUnary()
+	for {
+		prec := binPrec(p.tok.Kind)
+		if prec == 0 || prec < minPrec {
+			return lhs
+		}
+		op := p.tok.Kind
+		pos := p.tok.Pos
+		p.next()
+		rhs := p.parseBinaryExpr(prec + 1)
+		lhs = &Binary{Pos: pos, Op: op, X: lhs, Y: rhs}
+	}
+}
+
+func (p *Parser) parseUnary() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case Not, Minus, Tilde, Star, Amp, Plus:
+		op := p.tok.Kind
+		p.next()
+		x := p.parseUnary()
+		if op == Plus {
+			return x
+		}
+		return &Unary{Pos: pos, Op: op, X: x}
+	case Inc, Dec:
+		op := p.tok.Kind
+		p.next()
+		x := p.parseUnary()
+		return &Unary{Pos: pos, Op: op, X: x}
+	case KwSizeof:
+		p.next()
+		if p.tok.Kind == LParen && p.isTypeStart(p.peek) {
+			p.next()
+			base := p.parseTypeSpecifier()
+			_, te := p.parseDeclarator(base)
+			p.expect(RParen)
+			return &SizeofType{Pos: pos, Type: te}
+		}
+		x := p.parseUnary()
+		return &SizeofExpr{Pos: pos, X: x}
+	case LParen:
+		if p.isTypeStart(p.peek) {
+			p.next()
+			base := p.parseTypeSpecifier()
+			_, te := p.parseDeclarator(base)
+			p.expect(RParen)
+			x := p.parseUnary()
+			return &Cast{Pos: pos, Type: te, X: x}
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *Parser) parsePostfix() Expr {
+	x := p.parsePrimary()
+	for {
+		switch p.tok.Kind {
+		case LParen:
+			pos := p.tok.Pos
+			p.next()
+			var args []Expr
+			for p.tok.Kind != RParen && p.tok.Kind != EOF {
+				args = append(args, p.parseAssignExpr())
+				if !p.accept(Comma) {
+					break
+				}
+			}
+			p.expect(RParen)
+			x = &Call{Pos: pos, Fun: x, Args: args}
+		case LBrack:
+			pos := p.tok.Pos
+			p.next()
+			i := p.parseExpr()
+			p.expect(RBrack)
+			x = &Index{Pos: pos, X: x, I: i}
+		case Dot:
+			pos := p.tok.Pos
+			p.next()
+			name := p.expect(IDENT).Text
+			x = &FieldAccess{Pos: pos, X: x, Name: name}
+		case Arrow:
+			pos := p.tok.Pos
+			p.next()
+			name := p.expect(IDENT).Text
+			x = &FieldAccess{Pos: pos, X: x, Name: name, Arrow: true}
+		case Inc, Dec:
+			op := p.tok.Kind
+			pos := p.tok.Pos
+			p.next()
+			x = &Postfix{Pos: pos, Op: op, X: x}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimary() Expr {
+	pos := p.tok.Pos
+	switch p.tok.Kind {
+	case IDENT:
+		name := p.tok.Text
+		p.next()
+		return &Ident{Pos: pos, Name: name}
+	case INTLIT:
+		v := p.tok.Val
+		p.next()
+		return &IntLit{Pos: pos, V: v}
+	case CHARLIT:
+		v := p.tok.Val
+		p.next()
+		return &IntLit{Pos: pos, V: v}
+	case STRLIT:
+		s := p.tok.Text
+		p.next()
+		// Adjacent string literals concatenate.
+		for p.tok.Kind == STRLIT {
+			s += p.tok.Text
+			p.next()
+		}
+		return &StrLit{Pos: pos, V: s}
+	case KwNull:
+		p.next()
+		return &Null{Pos: pos}
+	case LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(RParen)
+		return x
+	}
+	p.errorf(pos, "expected expression, found %s", p.tok)
+	p.next()
+	return &IntLit{Pos: pos, V: 0}
+}

@@ -1,0 +1,177 @@
+// Package cminor implements the front-end for CMinor, the C subset
+// RegionWiz analyzes. It substitutes for the Phoenix compiler framework
+// the paper used (Section 5.1): a lexer, parser, and type checker whose
+// output feeds the IR lowering in package ir.
+//
+// The subset covers everything the paper's region idioms need: structs
+// and unions, enums, pointers and pointers-to-pointers, function
+// pointers, casts (including int<->pointer), address-of, string
+// literals, arrays, typedefs, and the usual statement forms including
+// switch with C fallthrough. It deliberately omits what RegionWiz's
+// analysis is documented as unsound for anyway (Section 5.5): varargs
+// access, bitfields, goto, and non-constant pointer arithmetic are all
+// rejected or treated conservatively downstream.
+package cminor
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT
+	CHARLIT
+	STRLIT
+
+	// Keywords.
+	KwInt
+	KwChar
+	KwLong
+	KwUnsigned
+	KwVoid
+	KwStruct
+	KwUnion
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwDo
+	KwReturn
+	KwBreak
+	KwContinue
+	KwSizeof
+	KwExtern
+	KwStatic
+	KwConst
+	KwNull // NULL
+	KwEnum
+	KwSwitch
+	KwCase
+	KwDefault
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Semi
+	Comma
+	Dot
+	Arrow
+	Star
+	Plus
+	Minus
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Not
+	Assign
+	PlusAssign
+	MinusAssign
+	Eq
+	Neq
+	Lt
+	Gt
+	Le
+	Ge
+	AndAnd
+	OrOr
+	Question
+	Colon
+	Inc
+	Dec
+	Ellipsis
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "integer", CHARLIT: "char", STRLIT: "string",
+	KwInt: "int", KwChar: "char", KwLong: "long", KwUnsigned: "unsigned", KwVoid: "void",
+	KwStruct: "struct", KwUnion: "union", KwTypedef: "typedef",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwFor: "for", KwDo: "do",
+	KwReturn: "return", KwBreak: "break", KwContinue: "continue",
+	KwSizeof: "sizeof", KwExtern: "extern", KwStatic: "static", KwConst: "const", KwNull: "NULL",
+	KwEnum: "enum", KwSwitch: "switch", KwCase: "case", KwDefault: "default",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[", RBrack: "]",
+	Semi: ";", Comma: ",", Dot: ".", Arrow: "->",
+	Star: "*", Plus: "+", Minus: "-", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Not: "!",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=",
+	Eq: "==", Neq: "!=", Lt: "<", Gt: ">", Le: "<=", Ge: ">=",
+	AndAnd: "&&", OrOr: "||", Question: "?", Colon: ":",
+	Inc: "++", Dec: "--", Ellipsis: "...",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"int": KwInt, "char": KwChar, "long": KwLong, "unsigned": KwUnsigned, "void": KwVoid,
+	"struct": KwStruct, "union": KwUnion, "typedef": KwTypedef,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "for": KwFor, "do": KwDo,
+	"return": KwReturn, "break": KwBreak, "continue": KwContinue,
+	"sizeof": KwSizeof, "extern": KwExtern, "static": KwStatic, "const": KwConst,
+	"NULL": KwNull,
+	"enum": KwEnum, "switch": KwSwitch, "case": KwCase, "default": KwDefault,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position carries real location info.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string // identifier spelling, literal text (unquoted for strings)
+	Val  int64  // integer/char literal value
+	Pos  Pos
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return t.Text
+	case INTLIT:
+		return fmt.Sprintf("%d", t.Val)
+	case STRLIT:
+		return fmt.Sprintf("%q", t.Text)
+	}
+	return t.Kind.String()
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...interface{}) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

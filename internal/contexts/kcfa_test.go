@@ -1,0 +1,131 @@
+package contexts
+
+import (
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/cminor"
+	"repro/internal/ir"
+)
+
+func numberKCFA(t *testing.T, src string, k int, cap uint64) *Numbering {
+	t.Helper()
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	prog := ir.Lower(info, f)
+	g := callgraph.Build(prog, "main", nil)
+	return NewKCFA(g, k, cap)
+}
+
+const diamondSrc = `
+int shared(void) { return 0; }
+int left(void) { return shared(); }
+int right(void) { return shared(); }
+int main(void) { return left() + right(); }`
+
+func TestKCFA1DistinguishesCallSites(t *testing.T) {
+	n := numberKCFA(t, diamondSrc, 1, 0)
+	// 1-CFA: shared's contexts are its two immediate call sites.
+	if n.Count["shared"] != 2 {
+		t.Fatalf("shared has %d contexts under 1-CFA, want 2", n.Count["shared"])
+	}
+	if n.Count["main"] != 1 {
+		t.Fatalf("main has %d contexts", n.Count["main"])
+	}
+}
+
+func TestKCFAMergesSharedSuffixes(t *testing.T) {
+	// Two paths that end in the SAME final call site merge under
+	// 1-CFA but stay separate under call-path numbering.
+	src := `
+int leaf(void) { return 0; }
+int mid(void) { return leaf(); }
+int a(void) { return mid(); }
+int b(void) { return mid(); }
+int main(void) { return a() + b(); }`
+	k1 := numberKCFA(t, src, 1, 0)
+	// leaf is always called from the single site in mid: one context.
+	if k1.Count["leaf"] != 1 {
+		t.Fatalf("1-CFA leaf contexts = %d, want 1 (suffix merge)", k1.Count["leaf"])
+	}
+	// Call-path numbering keeps the two paths apart.
+	f, _ := cminor.Parse("t.c", src)
+	info := cminor.Check(f)
+	prog := ir.Lower(info, f)
+	g := callgraph.Build(prog, "main", nil)
+	cp := Number(g, 0)
+	if cp.Count["leaf"] != 2 {
+		t.Fatalf("call-path leaf contexts = %d, want 2", cp.Count["leaf"])
+	}
+	// 2-CFA recovers the distinction.
+	k2 := numberKCFA(t, src, 2, 0)
+	if k2.Count["leaf"] != 2 {
+		t.Fatalf("2-CFA leaf contexts = %d, want 2", k2.Count["leaf"])
+	}
+}
+
+func TestKCFARecursionTerminates(t *testing.T) {
+	n := numberKCFA(t, `
+int odd(int v);
+int even(int v) { if (v == 0) return 1; return odd(v - 1); }
+int odd(int v) { if (v == 0) return 0; return even(v - 1); }
+int main(void) { return even(4); }`, 2, 0)
+	// Recursive call strings are k-limited, so counts stay finite.
+	if n.Count["even"] == 0 || n.Count["even"] > 4 {
+		t.Fatalf("even contexts = %d", n.Count["even"])
+	}
+}
+
+func TestKCFAMapContextConsistent(t *testing.T) {
+	n := numberKCFA(t, diamondSrc, 1, 0)
+	g := n.G
+	// Every mapped context must be in range, and the two edges into
+	// shared must map main's context to different callee contexts.
+	var edges []Edge
+	for _, fn := range []string{"left", "right"} {
+		for _, in := range g.Prog.Funcs[fn].Instrs {
+			for _, callee := range g.Edges[in.ID] {
+				if callee == "shared" {
+					edges = append(edges, Edge{Instr: in.ID, Callee: callee})
+				}
+			}
+		}
+	}
+	if len(edges) != 2 {
+		t.Fatalf("%d edges into shared", len(edges))
+	}
+	c0 := n.MapContext("left", 0, edges[0])
+	c1 := n.MapContext("right", 0, edges[1])
+	if c0 == c1 {
+		t.Fatal("1-CFA merged distinct call sites")
+	}
+	for _, c := range []uint64{c0, c1} {
+		if c >= n.Count["shared"] {
+			t.Fatalf("mapped context %d out of range", c)
+		}
+	}
+}
+
+func TestKCFACapMerges(t *testing.T) {
+	// Exponential diamond chain; cap forces merging.
+	src := `
+int f3(void) { return 0; }
+int f2(void) { return f3() + f3(); }
+int f1(void) { return f2() + f2(); }
+int main(void) { return f1() + f1(); }`
+	n := numberKCFA(t, src, 3, 2)
+	if !n.Capped {
+		t.Fatal("cap not reported")
+	}
+	for fn, c := range n.Count {
+		if c > 2 {
+			t.Fatalf("%s has %d contexts beyond cap", fn, c)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import "testing"
+
+// --- Figure 5(b): def-use refinement (the paper's future work) ---
+
+func TestDefUseRefinementEliminatesFigure5FalsePositive(t *testing.T) {
+	src := rcPrelude + `
+struct obj { struct obj *f; };
+int main(int c) {
+    region_t *p;
+    region_t *q;
+    struct obj *o1;
+    struct obj *o2;
+    if (c) p = rnew(NULL); else p = rnew(NULL);
+    q = rnew(p);
+    o1 = ralloc(p);
+    o2 = ralloc(q);
+    o2->f = o1;
+    return 0;
+}`
+	// Without the refinement the flow-insensitive analysis reports the
+	// Figure 5(a) false warning...
+	plain := runOpts(t, Options{}, src)
+	if len(plain.Report.Warnings) == 0 {
+		t.Fatal("baseline should report the Figure 5 false warning")
+	}
+	// ...with it, the p̂/f̂ relations prove q's parent and o1's owner
+	// came from the same variable p, so the pointer is intra-hierarchy
+	// (Figure 5(b)).
+	refined := runOpts(t, Options{DefUseRefinement: true}, src)
+	if n := len(refined.Report.Warnings); n != 0 {
+		t.Fatalf("refined run still reports %d warnings:\n%s", n, refined.Report)
+	}
+}
+
+func TestDefUseRefinementSameOwnerVariable(t *testing.T) {
+	// Both objects allocated from the same region variable: whatever
+	// region it held, they share it.
+	src := rcPrelude + `
+struct obj { struct obj *f; };
+int main(int c) {
+    region_t *p;
+    struct obj *o1;
+    struct obj *o2;
+    if (c) p = rnew(NULL); else p = rnew(NULL);
+    o1 = ralloc(p);
+    o2 = ralloc(p);
+    o2->f = o1;
+    return 0;
+}`
+	plain := runOpts(t, Options{}, src)
+	if len(plain.Report.Warnings) == 0 {
+		t.Fatal("baseline should report the aliasing false warning")
+	}
+	refined := runOpts(t, Options{DefUseRefinement: true}, src)
+	if n := len(refined.Report.Warnings); n != 0 {
+		t.Fatalf("refined run still reports %d warnings:\n%s", n, refined.Report)
+	}
+}
+
+func TestDefUseRefinementKeepsFigure3TrueBug(t *testing.T) {
+	// Figure 3's genuine inconsistency must survive the refinement:
+	// o1 is allocated from r1 while r2's parent is read from r —
+	// different variables.
+	src := rcPrelude + `
+struct obj { struct obj *f; };
+int main(int P, int Q) {
+    region_t *r0; region_t *r1; region_t *r; region_t *r2;
+    struct obj *o1; struct obj *o2;
+    r0 = rnew(NULL);
+    r1 = rnew(NULL);
+    o1 = ralloc(r1);
+    if (P) r = r0;
+    if (Q) r = r1;
+    r2 = rnew(r);
+    o2 = ralloc(r2);
+    o2->f = o1;
+    return 0;
+}`
+	refined := runOpts(t, Options{DefUseRefinement: true}, src)
+	if len(refined.Report.Warnings) == 0 {
+		t.Fatal("def-use refinement suppressed the Figure 3 true inconsistency")
+	}
+}
+
+func TestDefUseRefinementKeepsSiblingBug(t *testing.T) {
+	refined := runOpts(t, Options{DefUseRefinement: true}, rcPrelude+`
+struct obj { struct obj *p; };
+int main(void) {
+    region_t *r1; region_t *r2;
+    struct obj *o1; struct obj *o2;
+    r1 = rnew(NULL); r2 = rnew(NULL);
+    o1 = ralloc(r1); o2 = ralloc(r2);
+    o2->p = o1;
+    return 0;
+}`)
+	if len(refined.Report.Warnings) != 1 {
+		t.Fatalf("sibling bug lost under refinement:\n%s", refined.Report)
+	}
+}
+
+// --- Open-program analysis (the paper's Section 8 extension) ---
+
+func TestOpenProgramAnalyzesLibraryWithoutMain(t *testing.T) {
+	// The Figure 12 Subversion parser as a library: no main, the
+	// exported functions are the roots.
+	src := aprPrelude + `
+struct svn_xml_parser_t { void *xp; };
+typedef struct svn_xml_parser_t svn_xml_parser_t;
+
+svn_xml_parser_t * svn_xml_make_parser(apr_pool_t *pool) {
+    svn_xml_parser_t *svn_parser;
+    apr_pool_t *subpool;
+    apr_pool_create(&subpool, pool);
+    svn_parser = apr_pcalloc(subpool, sizeof(*svn_parser));
+    return svn_parser;
+}
+
+struct log_runner { svn_xml_parser_t *parser; };
+void run_log(apr_pool_t *pool) {
+    struct log_runner *loggy;
+    svn_xml_parser_t *parser;
+    loggy = apr_pcalloc(pool, sizeof(*loggy));
+    parser = svn_xml_make_parser(pool);
+    loggy->parser = parser;
+}`
+	a, err := AnalyzeSource(Options{Entries: []string{"run_log", "svn_xml_make_parser"}},
+		map[string]string{"lib.c": src})
+	if err != nil {
+		t.Fatalf("open-program analyze: %v", err)
+	}
+	if len(a.Report.Warnings) == 0 {
+		t.Fatalf("library-mode analysis missed the Figure 12 bug:\n%s", a.Report)
+	}
+	if !a.Graph.Reachable["svn_xml_make_parser"] || !a.Graph.Reachable["run_log"] {
+		t.Fatal("entries not all reachable roots")
+	}
+}
+
+// --- k-CFA context policy (the paper's Section 6.3 direction) ---
+
+func TestKCFAPolicyFindsBugsWithFewerContexts(t *testing.T) {
+	src := rcPrelude + `
+struct obj { struct obj *p; };
+struct obj * allocIn(region_t *r) { return ralloc(r); }
+int main(void) {
+    region_t *r1; region_t *r2;
+    struct obj *o1; struct obj *o2;
+    r1 = rnew(NULL);
+    r2 = rnew(NULL);
+    o1 = allocIn(r1);
+    o2 = allocIn(r2);
+    o2->p = o1;       /* genuine sibling bug through the helper */
+    return 0;
+}`
+	callpath := runOpts(t, Options{}, src)
+	kcfa := runOpts(t, Options{KCFA: 1}, src)
+	if len(callpath.Report.Warnings) != 1 || len(kcfa.Report.Warnings) != 1 {
+		t.Fatalf("bug lost: callpath=%d kcfa=%d warnings",
+			len(callpath.Report.Warnings), len(kcfa.Report.Warnings))
+	}
+	// 1-CFA distinguishes the two allocIn call sites just as well
+	// here; context totals must stay no larger.
+	if kcfa.Report.Stats.Contexts > callpath.Report.Stats.Contexts {
+		t.Fatalf("kcfa contexts %d > callpath %d",
+			kcfa.Report.Stats.Contexts, callpath.Report.Stats.Contexts)
+	}
+}
+
+func TestKCFAPolicyPrecisionLossDocumented(t *testing.T) {
+	// Two call paths sharing a k-suffix merge under 1-CFA: the helper
+	// chain loses which region the object went to, producing a false
+	// warning that full call-path numbering avoids.
+	src := rcPrelude + `
+struct obj { struct obj *p; };
+struct obj * inner(region_t *r) { return ralloc(r); }
+struct obj * outer(region_t *r) { return inner(r); }
+int main(void) {
+    region_t *r1; region_t *r2;
+    struct obj *o1; struct obj *p1;
+    struct obj *o2; struct obj *p2;
+    r1 = rnew(NULL);
+    r2 = rnew(NULL);
+    o1 = outer(r1);
+    p1 = outer(r1);
+    o2 = outer(r2);
+    p2 = outer(r2);
+    o1->p = p1;   /* same-region links via distinct outer paths */
+    o2->p = p2;
+    return 0;
+}`
+	callpath := runOpts(t, Options{}, src)
+	if n := len(callpath.Report.Warnings); n != 0 {
+		t.Fatalf("call-path numbering should prove this clean, got %d", n)
+	}
+	kcfa := runOpts(t, Options{KCFA: 1}, src)
+	if n := len(kcfa.Report.Warnings); n == 0 {
+		t.Fatal("expected the documented 1-CFA precision loss (inner merges all outer calls)")
+	}
+}
+
+func TestOpenProgramUnknownEntryRejected(t *testing.T) {
+	_, err := AnalyzeSource(Options{Entries: []string{"nope"}},
+		map[string]string{"lib.c": `int f(void) { return 0; }`})
+	if err == nil {
+		t.Fatal("unknown entry accepted")
+	}
+}
+
+func TestOpenProgramEntriesGetOwnContexts(t *testing.T) {
+	// Two entries calling a shared helper: the helper needs a context
+	// per entry path.
+	src := rcPrelude + `
+struct obj { struct obj *p; };
+struct obj * helper(region_t *r) { return ralloc(r); }
+void entryA(void) {
+    region_t *ra;
+    struct obj *o;
+    ra = rnew(NULL);
+    o = helper(ra);
+}
+void entryB(void) {
+    region_t *rb;
+    struct obj *o;
+    rb = rnew(NULL);
+    o = helper(rb);
+}`
+	a, err := AnalyzeSource(Options{Entries: []string{"entryA", "entryB"}},
+		map[string]string{"lib.c": src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Numbering.Count["helper"]; got != 2 {
+		t.Fatalf("helper has %d contexts, want 2 (one per entry)", got)
+	}
+	if len(a.Report.Warnings) != 0 {
+		t.Fatalf("clean library flagged:\n%s", a.Report)
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// reportJSON is the stable JSON shape of a Report.
+type reportJSON struct {
+	Warnings []warningJSON `json:"warnings"`
+	Stats    statsJSON     `json:"stats"`
+}
+
+type warningJSON struct {
+	High       bool   `json:"high"`
+	Message    string `json:"message"`
+	SrcSite    string `json:"src_site"`
+	DstSite    string `json:"dst_site"`
+	Offset     int64  `json:"field_offset"`
+	SrcRegion  string `json:"src_region"`
+	DstRegion  string `json:"dst_region"`
+	ObjectPair int    `json:"object_pairs"`
+}
+
+type statsJSON struct {
+	TimeMS     float64 `json:"time_ms"`
+	R          int     `json:"regions"`
+	H          int     `json:"objects"`
+	Sub        int     `json:"subregion_edges"`
+	Own        int     `json:"ownership_edges"`
+	Heap       int     `json:"heap_edges"`
+	RPairs     int64   `json:"region_pairs"`
+	OPairs     int     `json:"object_pairs"`
+	IPairs     int     `json:"instruction_pairs"`
+	High       int     `json:"high_ranked"`
+	Contexts   uint64  `json:"contexts"`
+	Funcs      int     `json:"functions"`
+	Instrs     int     `json:"instructions"`
+	Causes     int     `json:"unique_causes"`
+	HighCauses int     `json:"high_ranked_causes"`
+}
+
+// MarshalJSON renders the report as a stable machine-readable
+// structure (the cmd/regionwiz -json output).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	out := reportJSON{Warnings: []warningJSON{}}
+	for _, w := range r.Warnings {
+		out.Warnings = append(out.Warnings, warningJSON{
+			High:       w.High(),
+			Message:    w.Message,
+			SrcSite:    w.SrcPos,
+			DstSite:    w.DstPos,
+			Offset:     w.IPair.Off,
+			SrcRegion:  w.SrcRegion,
+			DstRegion:  w.DstRegion,
+			ObjectPair: w.IPair.Pairs,
+		})
+	}
+	s := r.Stats
+	out.Stats = statsJSON{
+		TimeMS:     float64(s.Time) / float64(time.Millisecond),
+		R:          s.R,
+		H:          s.H,
+		Sub:        s.Sub,
+		Own:        s.Own,
+		Heap:       s.Heap,
+		RPairs:     s.RPairs,
+		OPairs:     s.OPairs,
+		IPairs:     s.IPairs,
+		High:       s.High,
+		Contexts:   s.Contexts,
+		Funcs:      s.Funcs,
+		Instrs:     s.Instrs,
+		Causes:     s.Causes,
+		HighCauses: s.HighCauses,
+	}
+	return json.Marshal(out)
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/pointer"
+)
+
+// Stats carries the quantitative columns of the paper's Figure 11 for
+// one executable.
+type Stats struct {
+	Time     time.Duration
+	R        int   // region instances
+	H        int   // normal (region-allocated) object instances
+	Sub      int   // subregion relation size
+	Own      int   // ownership relation size
+	Heap     int   // heap (access) relation size
+	RPairs   int64 // region pairs with no subregion partial order
+	OPairs   int   // inconsistent object pairs
+	IPairs   int   // context-insensitive instruction pairs
+	High     int   // high-ranked I-pairs
+	Contexts uint64
+	Funcs    int
+	Instrs   int
+	// Causes and HighCauses approximate the paper's "unique causes"
+	// column: warnings clustered by the function containing the
+	// holder's allocation site (the original paper clustered by
+	// manual inspection).
+	Causes     int
+	HighCauses int
+}
+
+// Warning is one reported inconsistency, condensed to an instruction
+// pair and decorated for human inspection.
+type Warning struct {
+	IPair IPair
+	// Where the holder and pointee were allocated.
+	SrcPos, DstPos string
+	// Owner region descriptions for the representative object pair.
+	SrcRegion, DstRegion string
+	// Message is a one-line summary.
+	Message string
+	// Cause clusters warnings that share a root cause: the function
+	// containing the holder's allocation site.
+	Cause string
+}
+
+// High reports the Section 5.4 rank.
+func (w Warning) High() bool { return w.IPair.High }
+
+// Report is the analysis outcome.
+type Report struct {
+	Warnings []Warning // high-ranked first, then by site
+	Stats    Stats
+}
+
+// HighWarnings returns only the high-ranked warnings.
+func (r *Report) HighWarnings() []Warning {
+	var out []Warning
+	for _, w := range r.Warnings {
+		if w.High() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// String renders the report in the tool's output format.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "regionwiz: %d warning(s), %d high-ranked\n",
+		len(r.Warnings), r.Stats.High)
+	for i, w := range r.Warnings {
+		rank := "    "
+		if w.High() {
+			rank = "HIGH"
+		}
+		fmt.Fprintf(&sb, "%3d [%s] %s\n", i+1, rank, w.Message)
+	}
+	s := r.Stats
+	fmt.Fprintf(&sb, "stats: time=%v R=%d H=%d sub=%d own=%d heap=%d R-pair=%d O-pair=%d I-pair=%d high=%d contexts=%d\n",
+		s.Time.Round(time.Millisecond), s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs, s.High, s.Contexts)
+	return sb.String()
+}
+
+// postProcess condenses object pairs, ranks them, and assembles the
+// report (Section 5.4).
+func (a *Analysis) postProcess(pairs []ObjectPair, elapsed time.Duration) *Report {
+	ipairs := a.condense(pairs)
+	warnings := make([]Warning, 0, len(ipairs))
+	high := 0
+	causes := map[string]bool{}
+	highCauses := map[string]bool{}
+	for _, ip := range ipairs {
+		if ip.High {
+			high++
+		}
+		w := a.describe(ip)
+		causes[w.Cause] = true
+		if ip.High {
+			highCauses[w.Cause] = true
+		}
+		warnings = append(warnings, w)
+	}
+	// High-ranked warnings first; stable by site within each rank.
+	sort.SliceStable(warnings, func(i, j int) bool {
+		return warnings[i].High() && !warnings[j].High()
+	})
+	reach := a.Graph.ReachableFuncs()
+	instrs := 0
+	for _, fn := range reach {
+		instrs += len(a.Prog.Funcs[fn].Instrs)
+	}
+	return &Report{
+		Warnings: warnings,
+		Stats: Stats{
+			Time:       elapsed,
+			R:          a.RegionCount(),
+			H:          a.ObjectCount(),
+			Sub:        a.subEdges,
+			Own:        a.ownEdges,
+			Heap:       len(a.AccessEdges),
+			RPairs:     a.RPairCount(),
+			OPairs:     len(pairs),
+			IPairs:     len(ipairs),
+			High:       high,
+			Contexts:   a.Numbering.TotalContexts(),
+			Funcs:      len(reach),
+			Instrs:     instrs,
+			Causes:     len(causes),
+			HighCauses: len(highCauses),
+		},
+	}
+}
+
+// describe renders one I-pair as a Warning.
+func (a *Analysis) describe(ip IPair) Warning {
+	w := Warning{IPair: ip}
+	w.SrcPos = a.objPos(ip.Example.Src)
+	w.DstPos = a.objPos(ip.Example.Dst)
+	w.Cause = a.causeOf(ip.Example.Src)
+	w.SrcRegion = a.regionDesc(ip.Example.Evidence[0])
+	w.DstRegion = a.regionDesc(ip.Example.Evidence[1])
+	w.Message = fmt.Sprintf(
+		"object allocated at %s may hold a dangling pointer (offset %d) to object allocated at %s: owner region %s has no subregion order with %s",
+		w.SrcPos, ip.Off, w.DstPos, w.SrcRegion, w.DstRegion)
+	return w
+}
+
+// causeOf names the function containing an object's allocation site
+// (the cause-clustering key).
+func (a *Analysis) causeOf(obj int) string {
+	o := a.Ptr.Objects[obj]
+	if o.Kind == pointer.AllocObj && o.Site != nil && o.Site.Func != nil {
+		return o.Site.Func.Name
+	}
+	if o.Kind == pointer.ParamObj {
+		return o.Fn
+	}
+	return "<unknown>"
+}
+
+func (a *Analysis) objPos(obj int) string {
+	o := a.Ptr.Objects[obj]
+	switch o.Kind {
+	case pointer.AllocObj:
+		if o.Site != nil && o.Site.Pos.IsValid() {
+			return fmt.Sprintf("%s (%s)", o.Site.Pos, o.Fn)
+		}
+		return o.Fn
+	case pointer.VarStorageObj:
+		return fmt.Sprintf("&%s", o.Var.Name)
+	case pointer.ParamObj:
+		return fmt.Sprintf("param %s of %s", o.Var.Name, o.Fn)
+	case pointer.StringObj:
+		if o.Str < len(a.Prog.Strings) {
+			return fmt.Sprintf("%q", a.Prog.Strings[o.Str].Value)
+		}
+		return "string"
+	}
+	return "?"
+}
+
+func (a *Analysis) regionDesc(idx int) string {
+	if idx == RootRegion {
+		return "<root>"
+	}
+	r := a.Regions[idx]
+	if r.Site != nil && r.Site.Pos.IsValid() {
+		return fmt.Sprintf("region@%s#%d", r.Site.Pos, r.Ctx)
+	}
+	if r.Obj >= 0 {
+		if o := a.Ptr.Objects[r.Obj]; o.Kind == pointer.ParamObj {
+			return fmt.Sprintf("param-region %s of %s", o.Var.Name, o.Fn)
+		}
+	}
+	return fmt.Sprintf("region#%d", idx)
+}

@@ -1,0 +1,123 @@
+// Package core implements RegionWiz: the region lifetime consistency
+// analysis of the paper (Sections 4 and 5). It drives the front-end,
+// call graph, context cloning, and pointer analysis substrates, then
+// computes the conditional correlation ⟨p⁺, φ⁼, σ̄*⟩ over regions and
+// objects, reports inconsistent object pairs, condenses them to
+// instruction pairs, and ranks them.
+package core
+
+// CreateSpec describes a region-creation function (the paper's rnew /
+// apr_pool_create shapes).
+type CreateSpec struct {
+	// ParentArg is the argument index carrying the parent region.
+	// A NULL argument (or an argument that points to no region) means
+	// the root region.
+	ParentArg int
+	// OutArg is the argument index of an apr_pool_t** out-parameter
+	// that receives the new region, or -1 when the new region is the
+	// return value.
+	OutArg int
+}
+
+// AllocSpec describes an object-allocation function (ralloc /
+// apr_palloc shapes).
+type AllocSpec struct {
+	// RegionArg is the argument index carrying the owner region.
+	RegionArg int
+}
+
+// RegionAPI is one region-based memory management interface. The two
+// concrete instances mirror the paper's Section 5: RC regions and APR
+// pools.
+type RegionAPI struct {
+	Name string
+	// Create maps function names to creation specs.
+	Create map[string]CreateSpec
+	// Alloc maps function names to allocation specs.
+	Alloc map[string]AllocSpec
+	// Delete holds region deletion/clearing functions (tracked for
+	// reporting; the subregion relation already fixes deletion order,
+	// Section 4.1).
+	Delete map[string]bool
+}
+
+// APRPools returns the Apache Portable Runtime pools interface of
+// Figure 6, plus the handful of APR allocators (apr_pstrdup etc.) and
+// the Subversion pool wrappers that appear in the paper's case
+// studies.
+func APRPools() *RegionAPI {
+	return &RegionAPI{
+		Name: "apr",
+		Create: map[string]CreateSpec{
+			"apr_pool_create":    {ParentArg: 1, OutArg: 0},
+			"apr_pool_create_ex": {ParentArg: 1, OutArg: 0},
+			// svn_pool_create is Subversion's wrapper returning the
+			// pool; when its body is present in the program the spec
+			// entry is ignored in favour of the real definition.
+			"svn_pool_create": {ParentArg: 0, OutArg: -1},
+		},
+		Alloc: map[string]AllocSpec{
+			"apr_palloc":     {RegionArg: 0},
+			"apr_pcalloc":    {RegionArg: 0},
+			"apr_pstrdup":    {RegionArg: 0},
+			"apr_pstrndup":   {RegionArg: 0},
+			"apr_psprintf":   {RegionArg: 0},
+			"apr_pmemdup":    {RegionArg: 0},
+			"apr_hash_make":  {RegionArg: 0},
+			"apr_array_make": {RegionArg: 0},
+		},
+		Delete: map[string]bool{
+			"apr_pool_clear":   true,
+			"apr_pool_destroy": true,
+			"svn_pool_destroy": true,
+			"svn_pool_clear":   true,
+		},
+	}
+}
+
+// RCRegions returns the RC-regions interface (Gay and Aiken), which is
+// also the paper's toy-language interface: rnew creates a subregion of
+// its argument and ralloc allocates in its argument.
+func RCRegions() *RegionAPI {
+	return &RegionAPI{
+		Name: "rc",
+		Create: map[string]CreateSpec{
+			"rnew":         {ParentArg: 0, OutArg: -1},
+			"newregion":    {ParentArg: -1, OutArg: -1}, // top-level region
+			"newsubregion": {ParentArg: 0, OutArg: -1},
+		},
+		Alloc: map[string]AllocSpec{
+			"ralloc":      {RegionArg: 0},
+			"rstralloc":   {RegionArg: 0},
+			"rstrdup":     {RegionArg: 0},
+			"rarrayalloc": {RegionArg: 0},
+		},
+		Delete: map[string]bool{
+			"deleteregion": true,
+		},
+	}
+}
+
+// MergeAPIs combines several interfaces into one (a program may mix
+// them; the paper analyzes each package with its own interface, and
+// RegionWiz accepts both simultaneously).
+func MergeAPIs(apis ...*RegionAPI) *RegionAPI {
+	m := &RegionAPI{
+		Name:   "merged",
+		Create: make(map[string]CreateSpec),
+		Alloc:  make(map[string]AllocSpec),
+		Delete: make(map[string]bool),
+	}
+	for _, api := range apis {
+		for k, v := range api.Create {
+			m.Create[k] = v
+		}
+		for k, v := range api.Alloc {
+			m.Alloc[k] = v
+		}
+		for k, v := range api.Delete {
+			m.Delete[k] = v
+		}
+	}
+	return m
+}

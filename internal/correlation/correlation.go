@@ -1,0 +1,154 @@
+// Package correlation implements the paper's conditional correlation
+// framework (Section 3) as a small generic library.
+//
+// A conditional correlation ⟨f, φ, g⟩ over sets A and B (Definition
+// 3.1) states that φ is a relation-preserving map: whenever (x, y) ∈ f,
+// the images must satisfy (φ(x), φ(y)) ∈ g. The correlation is
+// consistent (Definition 3.2) when this holds for every pair in A×A —
+// which, as the paper notes, reduces to checking the pairs in f.
+//
+// Definition 3.3's abstraction relation ⟨f, φ, g⟩ ⊑ ⟨F, Φ, G⟩ justifies
+// static analysis: prove the abstract correlation consistent and the
+// concrete one follows. CheckAbstraction verifies the three conditions
+// on explicit finite instances; the region lifetime consistency
+// instantiation lives in package core.
+package correlation
+
+// Pair is an ordered pair over A.
+type Pair[A comparable] struct{ X, Y A }
+
+// Relation is a finite binary relation over A.
+type Relation[A comparable] struct {
+	pairs map[Pair[A]]bool
+}
+
+// NewRelation returns an empty relation.
+func NewRelation[A comparable]() *Relation[A] {
+	return &Relation[A]{pairs: make(map[Pair[A]]bool)}
+}
+
+// Add inserts (x, y).
+func (r *Relation[A]) Add(x, y A) { r.pairs[Pair[A]{x, y}] = true }
+
+// Has reports whether (x, y) is in the relation.
+func (r *Relation[A]) Has(x, y A) bool { return r.pairs[Pair[A]{x, y}] }
+
+// Len returns the number of pairs.
+func (r *Relation[A]) Len() int { return len(r.pairs) }
+
+// Each visits every pair; return false to stop.
+func (r *Relation[A]) Each(fn func(x, y A) bool) {
+	for p := range r.pairs {
+		if !fn(p.X, p.Y) {
+			return
+		}
+	}
+}
+
+// Correlation is a conditional correlation ⟨F, Φ, G⟩ over A and B:
+// (x, y) ∈ F must imply G(Φ(x), Φ(y)).
+type Correlation[A comparable, B any] struct {
+	// F is the condition relation over A.
+	F *Relation[A]
+	// Phi maps A elements to B.
+	Phi func(A) B
+	// G is the required relation over B, given as a predicate.
+	G func(B, B) bool
+}
+
+// Holds reports whether the correlation holds for the pair (x, y): it
+// is vacuously true when (x, y) ∉ F (the paper's remark after
+// Definition 3.2).
+func (c *Correlation[A, B]) Holds(x, y A) bool {
+	if !c.F.Has(x, y) {
+		return true
+	}
+	return c.G(c.Phi(x), c.Phi(y))
+}
+
+// Violations returns every pair of F for which the correlation fails.
+// An empty result means the correlation is consistent (Definition 3.2).
+func (c *Correlation[A, B]) Violations() []Pair[A] {
+	var out []Pair[A]
+	c.F.Each(func(x, y A) bool {
+		if !c.G(c.Phi(x), c.Phi(y)) {
+			out = append(out, Pair[A]{x, y})
+		}
+		return true
+	})
+	return out
+}
+
+// Consistent reports whether the correlation holds for all pairs.
+func (c *Correlation[A, B]) Consistent() bool { return len(c.Violations()) == 0 }
+
+// Abstraction relates a concrete correlation over (A, B) to an
+// abstract one over (A2, B2) through the maps Alpha : A -> A2 and
+// Beta : B -> B2 (Definition 3.3).
+type Abstraction[A, A2 comparable, B, B2 any] struct {
+	Concrete *Correlation[A, B]
+	Abstract *Correlation[A2, B2]
+	Alpha    func(A) A2
+	Beta     func(B) B2
+	// EqB2 compares abstract images (needed because B2 is not
+	// constrained to be comparable).
+	EqB2 func(B2, B2) bool
+}
+
+// Check verifies the three abstraction conditions over the given
+// finite carrier sets:
+//
+//	(3.2) (x, y) ∈ f  ⇒  (α(x), α(y)) ∈ F
+//	(3.3) φ(x) = s    ⇒  Φ(α(x)) = β(s)
+//	(3.4) (s, t) ∉ g  ⇒  (β(s), β(t)) ∉ G
+//
+// domainA enumerates A (for 3.3); pairsB enumerates the B×B pairs to
+// test (for 3.4 — callers choose a representative sample when B is
+// large). It returns a list of human-readable condition labels that
+// failed, empty when the abstraction is valid.
+func (ab *Abstraction[A, A2, B, B2]) Check(domainA []A, pairsB [][2]B) []string {
+	var failed []string
+	ok32 := true
+	ab.Concrete.F.Each(func(x, y A) bool {
+		if !ab.Abstract.F.Has(ab.Alpha(x), ab.Alpha(y)) {
+			ok32 = false
+			return false
+		}
+		return true
+	})
+	if !ok32 {
+		failed = append(failed, "3.2: f pair not covered by F")
+	}
+	for _, x := range domainA {
+		s := ab.Concrete.Phi(x)
+		if !ab.EqB2(ab.Abstract.Phi(ab.Alpha(x)), ab.Beta(s)) {
+			failed = append(failed, "3.3: phi image not preserved")
+			break
+		}
+	}
+	for _, p := range pairsB {
+		if !ab.Concrete.G(p[0], p[1]) {
+			if ab.Abstract.G(ab.Beta(p[0]), ab.Beta(p[1])) {
+				failed = append(failed, "3.4: G over-approximates g")
+				break
+			}
+		}
+	}
+	return failed
+}
+
+// SoundnessTheorem restates the framework's payoff: if the abstraction
+// conditions hold and the abstract correlation is consistent, the
+// concrete one is consistent. It re-derives concrete consistency from
+// the abstract side and reports whether the implication held on this
+// instance (used by property tests; a false return would falsify the
+// framework).
+func (ab *Abstraction[A, A2, B, B2]) SoundnessTheorem(domainA []A, pairsB [][2]B) bool {
+	if len(ab.Check(domainA, pairsB)) != 0 {
+		return true // premise fails; implication vacuous
+	}
+	if !ab.Abstract.Consistent() {
+		return true // premise fails; implication vacuous
+	}
+	return ab.Concrete.Consistent()
+}

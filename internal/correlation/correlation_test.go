@@ -1,0 +1,205 @@
+package correlation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// A toy instantiation: A = ints, B = string labels.
+func labelOf(x int) string {
+	if x%2 == 0 {
+		return "even"
+	}
+	return "odd"
+}
+
+func TestHoldsVacuouslyOutsideF(t *testing.T) {
+	f := NewRelation[int]()
+	f.Add(1, 2)
+	c := &Correlation[int, string]{
+		F:   f,
+		Phi: labelOf,
+		G:   func(a, b string) bool { return a != b },
+	}
+	if !c.Holds(3, 4) {
+		t.Fatal("pair outside F must hold vacuously")
+	}
+	if !c.Holds(1, 2) {
+		t.Fatal("odd/even differ, should hold")
+	}
+}
+
+func TestViolations(t *testing.T) {
+	f := NewRelation[int]()
+	f.Add(1, 3) // both odd -> same label -> violates G = "labels differ"
+	f.Add(1, 2)
+	c := &Correlation[int, string]{
+		F:   f,
+		Phi: labelOf,
+		G:   func(a, b string) bool { return a != b },
+	}
+	v := c.Violations()
+	if len(v) != 1 || v[0] != (Pair[int]{1, 3}) {
+		t.Fatalf("violations = %v", v)
+	}
+	if c.Consistent() {
+		t.Fatal("inconsistent correlation reported consistent")
+	}
+}
+
+func TestRegionLifetimeShape(t *testing.T) {
+	// The paper's Section 3 instantiation in miniature:
+	// A = regions {0,1,2}, subregion partial order 2 <= 1 <= 0;
+	// B = object sets; f = pairs with NO partial order; g = non-access.
+	// Objects: region i owns object i0; object 20 accesses 10
+	// (child accesses parent: safe).
+	type objSet = map[string]bool
+	owns := map[int]objSet{
+		0: {"o0": true},
+		1: {"o1": true},
+		2: {"o2": true},
+	}
+	access := map[string]map[string]bool{
+		"o2": {"o1": true}, // o2 -> o1
+	}
+	leq := func(x, y int) bool { return x >= y } // 2<=1<=0 numerically reversed
+	f := NewRelation[int]()
+	for x := 0; x <= 2; x++ {
+		for y := 0; y <= 2; y++ {
+			if x != y && !leq(x, y) {
+				f.Add(x, y) // pairs with x not<= y must be verified
+			}
+		}
+	}
+	nonAccess := func(s, t objSet) bool {
+		for a := range s {
+			for b := range t {
+				if access[a][b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	c := &Correlation[int, objSet]{F: f, Phi: func(r int) objSet { return owns[r] }, G: nonAccess}
+	if !c.Consistent() {
+		t.Fatalf("consistent hierarchy flagged: %v", c.Violations())
+	}
+	// Now make o1 access o2 (parent object points into child region).
+	access["o1"] = map[string]bool{"o2": true}
+	if c.Consistent() {
+		t.Fatal("parent->child access not flagged")
+	}
+}
+
+// TestAbstractionSoundness builds random concrete instances, quotients
+// them through a random partition (alpha), and checks the framework
+// theorem: valid abstraction + consistent abstract => consistent
+// concrete.
+func TestAbstractionSoundness(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		const nA = 8
+		// Random partition alpha: A -> A2.
+		alpha := make([]int, nA)
+		for i := range alpha {
+			alpha[i] = r.Intn(4)
+		}
+		// Concrete phi: A -> B (ints as B).
+		phi := make([]int, nA)
+		for i := range phi {
+			phi[i] = r.Intn(3)
+		}
+		// Beta must be well-defined on phi images; use identity.
+		beta := func(b int) int { return b }
+		// Abstract Phi must satisfy 3.3: Phi(alpha(x)) == beta(phi(x)).
+		// Force it by making phi constant per alpha class.
+		classVal := make(map[int]int)
+		for i := range phi {
+			if v, ok := classVal[alpha[i]]; ok {
+				phi[i] = v
+			} else {
+				classVal[alpha[i]] = phi[i]
+			}
+		}
+		// Random concrete f; abstract F = image (ensures 3.2).
+		f := NewRelation[int]()
+		F := NewRelation[int]()
+		for k := 0; k < 10; k++ {
+			x, y := r.Intn(nA), r.Intn(nA)
+			f.Add(x, y)
+			F.Add(alpha[x], alpha[y])
+		}
+		// g random over B; G = image-compatible: G(b1,b2) iff g(b1,b2)
+		// (beta identity makes 3.4 hold with equality).
+		gTable := make(map[[2]int]bool)
+		g := func(a, b int) bool { return gTable[[2]int{a, b}] }
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				gTable[[2]int{a, b}] = r.Intn(2) == 0
+			}
+		}
+		concrete := &Correlation[int, int]{F: f, Phi: func(x int) int { return phi[x] }, G: g}
+		abstract := &Correlation[int, int]{F: F, Phi: func(c int) int { return classVal[c] }, G: g}
+		ab := &Abstraction[int, int, int, int]{
+			Concrete: concrete,
+			Abstract: abstract,
+			Alpha:    func(x int) int { return alpha[x] },
+			Beta:     beta,
+			EqB2:     func(a, b int) bool { return a == b },
+		}
+		domainA := make([]int, nA)
+		for i := range domainA {
+			domainA[i] = i
+		}
+		var pairsB [][2]int
+		for a := 0; a < 3; a++ {
+			for b := 0; b < 3; b++ {
+				pairsB = append(pairsB, [2]int{a, b})
+			}
+		}
+		return ab.SoundnessTheorem(domainA, pairsB)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbstractionCheckCatchesBadAlpha(t *testing.T) {
+	f := NewRelation[int]()
+	f.Add(1, 2)
+	F := NewRelation[int]() // empty: misses the image of (1,2)
+	g := func(a, b string) bool { return true }
+	concrete := &Correlation[int, string]{F: f, Phi: labelOf, G: g}
+	abstract := &Correlation[int, string]{F: F, Phi: labelOf, G: g}
+	ab := &Abstraction[int, int, string, string]{
+		Concrete: concrete,
+		Abstract: abstract,
+		Alpha:    func(x int) int { return x },
+		Beta:     func(s string) string { return s },
+		EqB2:     func(a, b string) bool { return a == b },
+	}
+	fails := ab.Check([]int{1, 2}, nil)
+	if len(fails) == 0 {
+		t.Fatal("missing F pair not caught")
+	}
+}
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation[string]()
+	r.Add("a", "b")
+	r.Add("a", "b")
+	if r.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (dedup)", r.Len())
+	}
+	if !r.Has("a", "b") || r.Has("b", "a") {
+		t.Fatal("Has mismatch")
+	}
+	count := 0
+	r.Add("c", "d")
+	r.Each(func(x, y string) bool { count++; return false })
+	if count != 1 {
+		t.Fatal("Each early stop ignored")
+	}
+}

@@ -1,0 +1,189 @@
+package datalog
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/bdd"
+)
+
+// Relation is a set of tuples over the physical domain instances of its
+// schema, stored as a BDD.
+type Relation struct {
+	p     *Program
+	Name  string
+	attrs []Attr
+	node  bdd.Node
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attrs returns a copy of the schema.
+func (r *Relation) Attrs() []Attr { return append([]Attr(nil), r.attrs...) }
+
+// BDD returns the backing BDD node.
+func (r *Relation) BDD() bdd.Node { return r.node }
+
+// SetBDD replaces the relation's contents with the given BDD. The
+// caller is responsible for the node ranging only over the relation's
+// instances and legal domain values.
+func (r *Relation) SetBDD(n bdd.Node) { r.node = n }
+
+// Clear removes all tuples.
+func (r *Relation) Clear() { r.node = bdd.False }
+
+// IsEmpty reports whether the relation has no tuples.
+func (r *Relation) IsEmpty() bool { return r.node == bdd.False }
+
+func (r *Relation) tupleBDD(vals []uint64) bdd.Node {
+	if len(vals) != len(r.attrs) {
+		panic(fmt.Sprintf("datalog: %s arity %d, got %d values", r.Name, len(r.attrs), len(vals)))
+	}
+	n := bdd.True
+	for i, v := range vals {
+		inst := r.attrs[i].Dom.Instance(r.attrs[i].Inst)
+		n = r.p.M.And(n, inst.Eq(v))
+	}
+	return n
+}
+
+// Add inserts one tuple. It reports whether the tuple was new.
+func (r *Relation) Add(vals ...uint64) bool {
+	t := r.tupleBDD(vals)
+	merged := r.p.M.Or(r.node, t)
+	if merged == r.node {
+		return false
+	}
+	r.node = merged
+	return true
+}
+
+// Remove deletes one tuple if present.
+func (r *Relation) Remove(vals ...uint64) {
+	r.node = r.p.M.Diff(r.node, r.tupleBDD(vals))
+}
+
+// Has reports whether the tuple is present.
+func (r *Relation) Has(vals ...uint64) bool {
+	t := r.tupleBDD(vals)
+	return r.p.M.And(r.node, t) == t
+}
+
+// UnionWith adds every tuple of other (same schema required). It
+// reports whether r changed.
+func (r *Relation) UnionWith(other *Relation) bool {
+	r.mustMatchSchema(other)
+	merged := r.p.M.Or(r.node, other.node)
+	if merged == r.node {
+		return false
+	}
+	r.node = merged
+	return true
+}
+
+// DifferenceWith removes every tuple of other (same schema required).
+func (r *Relation) DifferenceWith(other *Relation) {
+	r.mustMatchSchema(other)
+	r.node = r.p.M.Diff(r.node, other.node)
+}
+
+// IntersectWith keeps only tuples also in other (same schema required).
+func (r *Relation) IntersectWith(other *Relation) {
+	r.mustMatchSchema(other)
+	r.node = r.p.M.And(r.node, other.node)
+}
+
+func (r *Relation) mustMatchSchema(other *Relation) {
+	if len(r.attrs) != len(other.attrs) {
+		panic(fmt.Sprintf("datalog: schema mismatch %s/%s", r.Name, other.Name))
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != other.attrs[i] {
+			panic(fmt.Sprintf("datalog: schema mismatch %s/%s at attr %d", r.Name, other.Name, i))
+		}
+	}
+}
+
+// Count returns the number of tuples.
+func (r *Relation) Count() uint64 {
+	if r.node == bdd.False {
+		return 0
+	}
+	bits := 0
+	for _, a := range r.attrs {
+		bits += len(a.Dom.Instance(a.Inst).Vars())
+	}
+	total := r.p.M.SatCount(r.node)
+	// SatCount ranges over every allocated variable; divide out the
+	// unconstrained ones.
+	free := r.p.M.NumVars() - bits
+	return uint64(math.Round(total / math.Pow(2, float64(free))))
+}
+
+// Each enumerates tuples in an unspecified order. Return false from fn
+// to stop early. The tuple slice is reused across calls.
+func (r *Relation) Each(fn func(tuple []uint64) bool) {
+	if r.node == bdd.False {
+		return
+	}
+	insts := make([]*bdd.Domain, len(r.attrs))
+	var vars []int
+	for i, a := range r.attrs {
+		insts[i] = a.Dom.Instance(a.Inst)
+		vars = append(vars, insts[i].Vars()...)
+	}
+	sort.Ints(vars)
+	tuple := make([]uint64, len(r.attrs))
+	seen := make(map[string]bool)
+	key := make([]byte, 0, len(r.attrs)*8)
+	r.p.M.AllSat(r.node, vars, func(a []bool) bool {
+		for i, inst := range insts {
+			tuple[i] = inst.Decode(vars, a)
+		}
+		// AllSat can repeat a projection when the node constrains
+		// variables outside vars (never for well-formed relations) or
+		// enumerate legal duplicates via unconstrained bits; dedupe.
+		key = key[:0]
+		for _, v := range tuple {
+			for s := 0; s < 64; s += 8 {
+				key = append(key, byte(v>>s))
+			}
+		}
+		k := string(key)
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		return fn(tuple)
+	})
+}
+
+// Tuples returns all tuples as a slice (for tests and reports).
+func (r *Relation) Tuples() [][]uint64 {
+	var out [][]uint64
+	r.Each(func(t []uint64) bool {
+		out = append(out, append([]uint64(nil), t...))
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// renameInstance moves one column of n from physical instance src to
+// dst using a constraint-based rename (robust against any variable
+// order): result = exists src. (n AND src==dst).
+func renameInstance(m *bdd.Manager, n bdd.Node, src, dst *bdd.Domain) bdd.Node {
+	if src == dst {
+		return n
+	}
+	return m.AndExists(n, src.EqDomain(dst), src.Cube())
+}

@@ -1,0 +1,327 @@
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/bdd"
+)
+
+// Wildcard is the anonymous variable: the attribute is quantified away.
+const Wildcard = "_"
+
+// Term is one atom of a rule: a relation applied to variables. Vars
+// must have one entry per relation attribute; Wildcard entries match
+// anything. Neg marks a negated body atom; every variable of a negated
+// atom must also appear in a positive atom of the same rule (safe
+// stratified negation — the solver does not re-derive negated
+// relations, so callers must fully compute them first).
+type Term struct {
+	Rel    *Relation
+	Vars   []string
+	Neg    bool
+	consts map[int]uint64
+}
+
+// T builds a positive atom.
+func T(rel *Relation, vars ...string) Term { return Term{Rel: rel, Vars: vars} }
+
+// N builds a negated atom.
+func N(rel *Relation, vars ...string) Term { return Term{Rel: rel, Vars: vars, Neg: true} }
+
+// Bind constrains the atom's i-th argument to a constant value and
+// returns the modified term. The argument's Vars entry should be
+// Wildcard unless the value should additionally bind a variable.
+func (t Term) Bind(i int, value uint64) Term {
+	nc := make(map[int]uint64, len(t.consts)+1)
+	for k, v := range t.consts {
+		nc[k] = v
+	}
+	nc[i] = value
+	t.consts = nc
+	return t
+}
+
+// Rule is a Horn clause Head :- Body. The head must be positive.
+type Rule struct {
+	Head Term
+	Body []Term
+}
+
+// NewRule builds a rule and validates variable/domain consistency and
+// negation safety.
+func NewRule(head Term, body ...Term) *Rule {
+	r := &Rule{Head: head, Body: body}
+	r.validate()
+	return r
+}
+
+func (r *Rule) validate() {
+	if r.Head.Neg {
+		panic("datalog: negated head")
+	}
+	varDom := make(map[string]*LogicalDomain)
+	check := func(t Term) {
+		if len(t.Vars) != t.Rel.Arity() {
+			panic(fmt.Sprintf("datalog: atom %s has %d vars, relation arity %d",
+				t.Rel.Name, len(t.Vars), t.Rel.Arity()))
+		}
+		for i, v := range t.Vars {
+			if v == Wildcard {
+				continue
+			}
+			d := t.Rel.attrs[i].Dom
+			if prev, ok := varDom[v]; ok && prev != d {
+				panic(fmt.Sprintf("datalog: variable %s used with domains %s and %s", v, prev.Name, d.Name))
+			}
+			varDom[v] = d
+		}
+		for i := range t.consts {
+			if i < 0 || i >= t.Rel.Arity() {
+				panic(fmt.Sprintf("datalog: constant bound to argument %d of %s (arity %d)", i, t.Rel.Name, t.Rel.Arity()))
+			}
+		}
+	}
+	positive := make(map[string]bool)
+	for _, t := range r.Body {
+		check(t)
+		if !t.Neg {
+			for _, v := range t.Vars {
+				if v != Wildcard {
+					positive[v] = true
+				}
+			}
+		}
+	}
+	check(r.Head)
+	for _, t := range r.Body {
+		if !t.Neg {
+			continue
+		}
+		for _, v := range t.Vars {
+			if v != Wildcard && !positive[v] {
+				panic(fmt.Sprintf("datalog: unsafe negation: variable %s of %s not bound positively", v, t.Rel.Name))
+			}
+		}
+	}
+	for _, v := range r.Head.Vars {
+		if v != Wildcard && !positive[v] {
+			panic(fmt.Sprintf("datalog: head variable %s not bound in body", v))
+		}
+	}
+}
+
+// evalEnv assigns every rule variable a private "evaluation" instance
+// of its logical domain, disjoint from all relation schema instances.
+type evalEnv struct {
+	p     *Program
+	insts map[string]*bdd.Domain
+	next  map[*LogicalDomain]int
+}
+
+func newEvalEnv(p *Program) *evalEnv {
+	return &evalEnv{p: p, insts: make(map[string]*bdd.Domain), next: make(map[*LogicalDomain]int)}
+}
+
+func (e *evalEnv) instance(v string, d *LogicalDomain) *bdd.Domain {
+	if inst, ok := e.insts[v]; ok {
+		return inst
+	}
+	inst := d.scratchInstance(e.next[d])
+	e.next[d]++
+	e.insts[v] = inst
+	return inst
+}
+
+// atomBDD renames one atom's relation contents from its schema
+// instances onto the rule's evaluation instances, applying constant
+// bindings and quantifying wildcards. override, when non-nil, replaces
+// the relation's contents (semi-naive evaluation passes deltas).
+func (r *Rule) atomBDD(env *evalEnv, t Term, override *bdd.Node) bdd.Node {
+	m := env.p.M
+	n := t.Rel.node
+	if override != nil {
+		n = *override
+	}
+	quantify := bdd.True
+	for i, v := range t.Vars {
+		inst := t.Rel.attrs[i].Dom.Instance(t.Rel.attrs[i].Inst)
+		if c, ok := t.consts[i]; ok {
+			n = m.And(n, inst.Eq(c))
+		}
+		if v == Wildcard {
+			quantify = m.And(quantify, inst.Cube())
+			continue
+		}
+		target := env.instance(v, t.Rel.attrs[i].Dom)
+		n = renameInstance(m, n, inst, target)
+	}
+	if quantify != bdd.True {
+		n = m.Exists(n, quantify)
+	}
+	return n
+}
+
+// Apply evaluates the rule once against current relation contents and
+// merges derived tuples into the head. It reports whether the head
+// changed.
+func (p *Program) Apply(r *Rule) bool {
+	derived := p.derive(r, -1, bdd.False)
+	merged := p.M.Or(r.Head.Rel.node, derived)
+	if merged == r.Head.Rel.node {
+		return false
+	}
+	r.Head.Rel.node = merged
+	return true
+}
+
+// derive evaluates the rule body and returns the derived tuples over
+// the head schema, without merging them. When deltaIdx >= 0, the
+// positive body atom at that index reads delta instead of its
+// relation's full contents (semi-naive evaluation).
+func (p *Program) derive(r *Rule, deltaIdx int, delta bdd.Node) bdd.Node {
+	m := p.M
+	env := newEvalEnv(p)
+	acc := bdd.True
+	for i, t := range r.Body {
+		if t.Neg {
+			continue
+		}
+		var override *bdd.Node
+		if i == deltaIdx {
+			override = &delta
+		}
+		acc = m.And(acc, r.atomBDD(env, t, override))
+		if acc == bdd.False {
+			return bdd.False
+		}
+	}
+	for _, t := range r.Body {
+		if !t.Neg {
+			continue
+		}
+		acc = m.Diff(acc, r.atomBDD(env, t, nil))
+		if acc == bdd.False {
+			return bdd.False
+		}
+	}
+	// Project onto head variables and move them to the head schema:
+	// exists(all eval insts). acc AND (evalInst(v_j) == headAttr_j).
+	head := r.Head
+	constrain := bdd.True
+	for i, v := range head.Vars {
+		attrInst := head.Rel.attrs[i].Dom.Instance(head.Rel.attrs[i].Inst)
+		if c, ok := head.consts[i]; ok {
+			constrain = m.And(constrain, attrInst.Eq(c))
+			continue
+		}
+		if v == Wildcard {
+			panic(fmt.Sprintf("datalog: wildcard in head of %s without constant binding", head.Rel.Name))
+		}
+		constrain = m.And(constrain, env.insts[v].EqDomain(attrInst))
+	}
+	cube := bdd.True
+	for _, inst := range env.insts {
+		cube = m.And(cube, inst.Cube())
+	}
+	return m.AndExists(acc, constrain, cube)
+}
+
+// SolveSemiNaive runs the rules to fixpoint with semi-naive
+// (differential) evaluation, as bddbddb does: after the first round, a
+// rule whose body reads relations derived by the rule set is only
+// re-evaluated against the tuples that are NEW since its last
+// evaluation, once per recursive atom. Non-recursive rules run exactly
+// once. Negated atoms must belong to an earlier stratum (they are read
+// in full and must not be heads in the same rule set — enforced).
+// It returns the number of rounds.
+func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
+	m := p.M
+	derivedBy := make(map[*Relation]bool)
+	for _, r := range rules {
+		derivedBy[r.Head.Rel] = true
+	}
+	for _, r := range rules {
+		for _, t := range r.Body {
+			if t.Neg && derivedBy[t.Rel] {
+				panic(fmt.Sprintf("datalog: negated relation %s derived in the same stratum", t.Rel.Name))
+			}
+		}
+	}
+	// Round 0: evaluate every rule in full; the union of everything
+	// derived (plus pre-seeded tuples, which count as new) is the
+	// first delta.
+	delta := make(map[*Relation]bdd.Node)
+	for rel := range derivedBy {
+		delta[rel] = rel.node
+	}
+	rounds := 1
+	for _, r := range rules {
+		d := p.derive(r, -1, bdd.False)
+		newTuples := m.Diff(d, r.Head.Rel.node)
+		if newTuples != bdd.False {
+			r.Head.Rel.node = m.Or(r.Head.Rel.node, newTuples)
+			delta[r.Head.Rel] = m.Or(delta[r.Head.Rel], newTuples)
+		}
+	}
+	for {
+		// Quiesce?
+		anyDelta := false
+		for _, d := range delta {
+			if d != bdd.False {
+				anyDelta = true
+			}
+		}
+		if !anyDelta {
+			return rounds
+		}
+		rounds++
+		if maxRounds > 0 && rounds > maxRounds {
+			panic(fmt.Sprintf("datalog: no fixpoint after %d rounds", maxRounds))
+		}
+		next := make(map[*Relation]bdd.Node)
+		for rel := range derivedBy {
+			next[rel] = bdd.False
+		}
+		for _, r := range rules {
+			for i, t := range r.Body {
+				if t.Neg || !derivedBy[t.Rel] {
+					continue
+				}
+				d := delta[t.Rel]
+				if d == bdd.False {
+					continue
+				}
+				derivedNow := p.derive(r, i, d)
+				newTuples := m.Diff(derivedNow, r.Head.Rel.node)
+				if newTuples != bdd.False {
+					r.Head.Rel.node = m.Or(r.Head.Rel.node, newTuples)
+					next[r.Head.Rel] = m.Or(next[r.Head.Rel], newTuples)
+				}
+			}
+		}
+		delta = next
+	}
+}
+
+// Solve runs the rules to a global fixpoint using naive iteration (a
+// round applies every rule once; rounds repeat while anything changed).
+// It returns the number of rounds. maxRounds guards against
+// non-terminating rule sets; 0 means no limit.
+func (p *Program) Solve(rules []*Rule, maxRounds int) int {
+	rounds := 0
+	for {
+		rounds++
+		changed := false
+		for _, r := range rules {
+			if p.Apply(r) {
+				changed = true
+			}
+		}
+		if !changed {
+			return rounds
+		}
+		if maxRounds > 0 && rounds >= maxRounds {
+			panic(fmt.Sprintf("datalog: no fixpoint after %d rounds", maxRounds))
+		}
+	}
+}

@@ -1,0 +1,340 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/cminor"
+)
+
+func run2(t *testing.T, src string, args ...int64) (*Effects, error) {
+	t.Helper()
+	f, errs := cminor.Parse("t.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	return Run(info, Options{Args: args}, f)
+}
+
+func TestGlobalsAndInitializers(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+int counter = 5;
+region_t *shared;
+int main(void) {
+    shared = rnew(NULL);
+    counter = counter + 1;
+    if (counter != 6) { region_t *x; x = rnew(NULL); }
+    return counter;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 1 {
+		t.Fatalf("%d regions (initializer arithmetic wrong?)", len(eff.Regions))
+	}
+}
+
+func TestPointerEqualityAndNullChecks(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+int main(void) {
+    region_t *r;
+    void *a; void *b;
+    r = rnew(NULL);
+    a = ralloc(r);
+    b = a;
+    if (a != b) { region_t *bad; bad = rnew(NULL); }
+    if (a == NULL) { region_t *bad2; bad2 = rnew(NULL); }
+    b = NULL;
+    if (b) { region_t *bad3; bad3 = rnew(NULL); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 1 {
+		t.Fatalf("pointer equality semantics wrong: %d regions", len(eff.Regions))
+	}
+}
+
+func TestTernaryAndShortCircuit(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+int touch(region_t **out) {
+    *out = rnew(NULL);
+    return 1;
+}
+int main(int c) {
+    region_t *r;
+    int x;
+    r = NULL;
+    x = c ? 1 : 2;
+    if (x != 2) { region_t *bad; bad = rnew(NULL); }
+    /* short circuit: touch must NOT run */
+    if (c && touch(&r)) { }
+    if (r) { region_t *bad2; bad2 = rnew(NULL); }
+    return 0;
+}`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 0 {
+		t.Fatalf("short-circuit broken: %d regions created", len(eff.Regions))
+	}
+}
+
+func TestStructValueLocalsWithBacking(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+struct pair { void *a; void *b; };
+int main(void) {
+    region_t *r;
+    struct pair p;
+    struct pair *pp;
+    r = rnew(NULL);
+    p.a = ralloc(r);
+    pp = &p;
+    pp->b = ralloc(r);
+    if (p.b == NULL) { region_t *bad; bad = rnew(NULL); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 1 {
+		t.Fatalf("struct backing broken: %d regions", len(eff.Regions))
+	}
+	// Stores into the local struct's backing are not σ sources (the
+	// backing is not region-allocated).
+	if inc := eff.Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("local struct store misclassified: %d", len(inc))
+	}
+}
+
+func TestUnknownExternReturnsZero(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+extern int mystery(int x);
+int main(void) {
+    if (mystery(3)) { region_t *bad; bad = rnew(NULL); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 0 {
+		t.Fatal("unknown extern should return 0")
+	}
+}
+
+func TestSvnPoolCreateModel(t *testing.T) {
+	eff, err := run2(t, `
+typedef struct apr_pool_t apr_pool_t;
+extern apr_pool_t *svn_pool_create(apr_pool_t *parent);
+extern void svn_pool_destroy(apr_pool_t *p);
+int main(void) {
+    apr_pool_t *a; apr_pool_t *b;
+    a = svn_pool_create(NULL);
+    b = svn_pool_create(a);
+    svn_pool_destroy(a);
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 2 {
+		t.Fatalf("%d regions", len(eff.Regions))
+	}
+	if eff.Regions[1].Parent != eff.Regions[0] {
+		t.Fatal("svn wrapper parent lost")
+	}
+	if eff.Regions[1].Alive {
+		t.Fatal("child survived parent destroy")
+	}
+}
+
+func TestMallocObjectsImmortal(t *testing.T) {
+	eff, err := run2(t, rcPrelude+`
+extern void *malloc(unsigned long n);
+struct obj { void *p; };
+int main(void) {
+    region_t *r;
+    struct obj *holder;
+    void *heapmem;
+    r = rnew(NULL);
+    holder = ralloc(r);
+    heapmem = malloc(8);
+    holder->p = heapmem;   /* region object -> malloc memory: safe */
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc := eff.Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("malloc target flagged: %d", len(inc))
+	}
+}
+
+func TestEntryNotDefined(t *testing.T) {
+	f, _ := cminor.Parse("t.c", `extern int lib(void);`)
+	info := cminor.Check(f)
+	if _, err := Run(info, Options{}, f); err == nil {
+		t.Fatal("missing main accepted")
+	}
+}
+
+func TestObjectLimit(t *testing.T) {
+	f, _ := cminor.Parse("t.c", rcPrelude+`
+int main(void) {
+    region_t *r;
+    int i;
+    r = rnew(NULL);
+    for (i = 0; i < 1000; i++) { void *p; p = ralloc(r); }
+    return 0;
+}`)
+	info := cminor.Check(f)
+	_, err := Run(info, Options{MaxObjects: 100}, f)
+	if err == nil {
+		t.Fatal("object limit not enforced")
+	}
+}
+
+func TestCleanupCallbacksRunOnDestroy(t *testing.T) {
+	// Cleanups run children-first, reverse registration order (APR's
+	// teardown); each cleanup call here creates a region in a fresh
+	// global slot so the order is observable.
+	eff, err := run2(t, `
+typedef struct apr_pool_t apr_pool_t;
+typedef long (*cleanup_t)(void *data);
+extern long apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void apr_pool_destroy(apr_pool_t *p);
+extern void apr_pool_cleanup_register(apr_pool_t *p, const void *data, cleanup_t plain, cleanup_t child);
+
+int order;
+int first_seen;
+int second_seen;
+int child_seen;
+
+long cl_parent_a(void *d) { order++; first_seen = order; return 0; }
+long cl_parent_b(void *d) { order++; second_seen = order; return 0; }
+long cl_child(void *d) { order++; child_seen = order; return 0; }
+
+int main(void) {
+    apr_pool_t *pool; apr_pool_t *sub;
+    apr_pool_create(&pool, NULL);
+    apr_pool_create(&sub, pool);
+    apr_pool_cleanup_register(pool, NULL, cl_parent_a, cl_parent_a);
+    apr_pool_cleanup_register(pool, NULL, cl_parent_b, cl_parent_b);
+    apr_pool_cleanup_register(sub, NULL, cl_child, cl_child);
+    apr_pool_destroy(pool);
+    /* expected order: child (1), parent_b (2), parent_a (3) */
+    if (child_seen != 1 || second_seen != 2 || first_seen != 3) {
+        apr_pool_t *assertfail;
+        apr_pool_create(&assertfail, NULL);
+    }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 2 {
+		t.Fatalf("cleanup ordering wrong: %d regions (assert region created)", len(eff.Regions))
+	}
+}
+
+func TestCleanupReceivesData(t *testing.T) {
+	// The Figure 12 Apache pattern: the cleanup closes the resource it
+	// was registered with.
+	eff, err := run2(t, `
+typedef struct apr_pool_t apr_pool_t;
+typedef long (*cleanup_t)(void *data);
+extern long apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void *apr_palloc(apr_pool_t *p, unsigned long n);
+extern void apr_pool_destroy(apr_pool_t *p);
+extern void apr_pool_cleanup_register(apr_pool_t *p, const void *data, cleanup_t plain, cleanup_t child);
+
+struct parser { int open; };
+int closed_ok;
+
+long cleanup_parser(void *data) {
+    struct parser *ps;
+    ps = data;
+    if (ps->open == 1) closed_ok = 1;
+    ps->open = 0;
+    return 0;
+}
+
+int main(void) {
+    apr_pool_t *pool;
+    struct parser *ps;
+    apr_pool_create(&pool, NULL);
+    ps = apr_palloc(pool, sizeof(struct parser));
+    ps->open = 1;
+    apr_pool_cleanup_register(pool, ps, cleanup_parser, cleanup_parser);
+    apr_pool_destroy(pool);
+    if (closed_ok != 1) { apr_pool_t *assertfail; apr_pool_create(&assertfail, NULL); }
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Regions) != 1 {
+		t.Fatal("cleanup did not receive its data argument")
+	}
+	// Cleanup accesses run before the memory dies: no dangling events.
+	if len(eff.Dangling) != 0 {
+		t.Fatalf("cleanup access recorded %d dangling uses", len(eff.Dangling))
+	}
+}
+
+func TestClearKeepsPoolUsableButFreesMemory(t *testing.T) {
+	eff, err := run2(t, `
+typedef struct apr_pool_t apr_pool_t;
+extern long apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void *apr_palloc(apr_pool_t *p, unsigned long n);
+extern void apr_pool_clear(apr_pool_t *p);
+struct box { int v; };
+int main(void) {
+    apr_pool_t *pool; apr_pool_t *sub;
+    struct box *old;
+    struct box *fresh;
+    apr_pool_create(&pool, NULL);
+    apr_pool_create(&sub, pool);
+    old = apr_palloc(pool, sizeof(struct box));
+    apr_pool_clear(pool);
+    fresh = apr_palloc(pool, sizeof(struct box));  /* pool still usable */
+    fresh->v = 1;
+    old->v = 2;                                    /* dangling: cleared */
+    return 0;
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool alive, sub destroyed.
+	if !eff.Regions[0].Alive {
+		t.Fatal("apr_pool_clear destroyed the pool itself")
+	}
+	if eff.Regions[1].Alive {
+		t.Fatal("apr_pool_clear did not destroy the child pool")
+	}
+	if len(eff.Dangling) != 1 {
+		t.Fatalf("%d dangling uses, want 1 (the cleared old->v)", len(eff.Dangling))
+	}
+}
+
+func TestArgcDrivesLoop(t *testing.T) {
+	src := rcPrelude + `
+int main(int argc) {
+    int i;
+    for (i = 0; i < argc; i++) { region_t *r; r = rnew(NULL); }
+    return 0;
+}`
+	for _, n := range []int64{0, 1, 5} {
+		eff, err := run2(t, src, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(eff.Regions)) != n {
+			t.Fatalf("argc=%d created %d regions", n, len(eff.Regions))
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/cminor"
+)
+
+const rcPrelude = `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+extern void deleteregion(region_t *r);
+`
+
+func exec(t *testing.T, src string, args ...int64) *Effects {
+	t.Helper()
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	eff, err := Run(info, Options{Args: args}, f)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return eff
+}
+
+func TestFigure1EffectsAndConsistency(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+struct conn_t { int fd; };
+struct req_t { struct conn_t *connection; };
+int main(void) {
+    region_t *r; region_t *subr;
+    struct conn_t *conn; struct req_t *req;
+    r = rnew(NULL);
+    conn = ralloc(r);
+    subr = rnew(r);
+    req = ralloc(subr);
+    req->connection = conn;
+    return 0;
+}`)
+	if len(eff.Regions) != 2 {
+		t.Fatalf("%d regions, want 2", len(eff.Regions))
+	}
+	if eff.Regions[1].Parent != eff.Regions[0] {
+		t.Fatal("subr's parent is not r")
+	}
+	if len(eff.Objects) != 2 {
+		t.Fatalf("%d objects, want 2", len(eff.Objects))
+	}
+	if len(eff.Access) != 1 {
+		t.Fatalf("%d access tuples, want 1", len(eff.Access))
+	}
+	if inc := eff.Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("consistent program has %d inconsistencies", len(inc))
+	}
+}
+
+func TestFigure3ConcreteRuns(t *testing.T) {
+	src := rcPrelude + `
+struct obj { struct obj *f; };
+int main(int P, int Q) {
+    region_t *r0; region_t *r1; region_t *r;
+    region_t *r2;
+    struct obj *o1; struct obj *o2;
+    r0 = rnew(NULL);
+    r1 = rnew(NULL);
+    o1 = ralloc(r1);
+    r = r0;
+    if (P) r = r0;
+    if (Q) r = r1;
+    r2 = rnew(r);
+    o2 = ralloc(r2);
+    o2->f = o1;
+    return 0;
+}`
+	// P=1, Q=1: r2 < r1, consistent (the paper's Example 4.2).
+	eff := exec(t, src, 1, 1)
+	if inc := eff.Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("P=Q=1 run inconsistent: %d", len(inc))
+	}
+	// P=1, Q=0: r2 < r0 but o2->f points into r1: dangling.
+	eff = exec(t, src, 1, 0)
+	if inc := eff.Inconsistencies(); len(inc) != 1 {
+		t.Fatalf("P=1,Q=0 run has %d inconsistencies, want 1", len(inc))
+	}
+}
+
+func TestSubregionOrderLeq(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+int main(void) {
+    region_t *a; region_t *b; region_t *c;
+    a = rnew(NULL);
+    b = rnew(a);
+    c = rnew(b);
+    return 0;
+}`)
+	a, b, c := eff.Regions[0], eff.Regions[1], eff.Regions[2]
+	if !c.Leq(a) || !c.Leq(b) || !b.Leq(a) {
+		t.Fatal("transitive subregion order broken")
+	}
+	if a.Leq(b) || b.Leq(c) {
+		t.Fatal("order inverted")
+	}
+	if !a.Leq(nil) || !c.Leq(nil) {
+		t.Fatal("everything must be <= root")
+	}
+	if !a.Leq(a) {
+		t.Fatal("order not reflexive")
+	}
+}
+
+func TestAPRInterface(t *testing.T) {
+	eff := exec(t, `
+typedef struct apr_pool_t apr_pool_t;
+extern long apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void *apr_palloc(apr_pool_t *p, unsigned long size);
+extern void apr_pool_destroy(apr_pool_t *p);
+struct holder { void *data; };
+int main(void) {
+    apr_pool_t *pool; apr_pool_t *sub;
+    struct holder *h;
+    void *d;
+    apr_pool_create(&pool, NULL);
+    apr_pool_create(&sub, pool);
+    h = apr_palloc(pool, 16);
+    d = apr_palloc(sub, 16);
+    h->data = d;
+    apr_pool_destroy(sub);
+    return 0;
+}`)
+	if len(eff.Regions) != 2 || len(eff.Objects) < 2 {
+		t.Fatalf("regions=%d objects=%d", len(eff.Regions), len(eff.Objects))
+	}
+	// h (pool) -> d (sub): pool not <= sub: inconsistent.
+	if inc := eff.Inconsistencies(); len(inc) != 1 {
+		t.Fatalf("%d inconsistencies, want 1", len(inc))
+	}
+	// Destroy killed sub but not pool.
+	if eff.Regions[1].Alive || !eff.Regions[0].Alive {
+		t.Fatal("destroy subtree state wrong")
+	}
+}
+
+func TestDestroyKillsSubtree(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+int main(void) {
+    region_t *a; region_t *b; region_t *c; region_t *other;
+    a = rnew(NULL);
+    b = rnew(a);
+    c = rnew(b);
+    other = rnew(NULL);
+    deleteregion(a);
+    return 0;
+}`)
+	if eff.Regions[0].Alive || eff.Regions[1].Alive || eff.Regions[2].Alive {
+		t.Fatal("subtree not deleted")
+	}
+	if !eff.Regions[3].Alive {
+		t.Fatal("unrelated region deleted")
+	}
+}
+
+func TestControlFlowAndArithmetic(t *testing.T) {
+	// Branch-dependent region choice: with arg 0 the object lands in
+	// the root-parented region and the access is safe; with arg 1 it
+	// is inconsistent.
+	src := rcPrelude + `
+struct obj { struct obj *p; };
+int main(int pick) {
+    region_t *parent; region_t *childA; region_t *childB;
+    region_t *use;
+    struct obj *holder; struct obj *inner;
+    int i;
+    parent = rnew(NULL);
+    childA = rnew(parent);
+    childB = rnew(NULL);
+    use = childA;
+    for (i = 0; i < 3; i++) {
+        if (pick == 1 && i == 2) use = childB;
+    }
+    inner = ralloc(parent);
+    holder = ralloc(use);
+    holder->p = inner;
+    return 0;
+}`
+	if inc := exec(t, src, 0).Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("pick=0 inconsistent: %d", len(inc))
+	}
+	if inc := exec(t, src, 1).Inconsistencies(); len(inc) != 1 {
+		t.Fatalf("pick=1 has %d inconsistencies, want 1", len(inc))
+	}
+}
+
+func TestFunctionPointersInInterp(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+struct obj { struct obj *p; };
+typedef void *(*alloc_fn)(region_t *r);
+int main(void) {
+    alloc_fn fn;
+    region_t *r;
+    struct obj *o;
+    fn = ralloc;
+    r = rnew(NULL);
+    o = fn(r);
+    return 0;
+}`)
+	if len(eff.Objects) != 1 {
+		t.Fatalf("%d objects via function pointer, want 1", len(eff.Objects))
+	}
+	if eff.Objects[0].Owner != eff.Regions[0] {
+		t.Fatal("function-pointer allocation lost the region")
+	}
+}
+
+func TestRecursionWithFuel(t *testing.T) {
+	src := `
+int loop(int n) { return loop(n + 1); }
+int main(void) { return loop(0); }`
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	_, err := Run(info, Options{Fuel: 10000}, f)
+	if err != ErrFuel {
+		t.Fatalf("infinite recursion returned %v, want ErrFuel", err)
+	}
+}
+
+func TestStringsAreImmortalTargets(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+struct obj { char *name; };
+int main(void) {
+    region_t *r;
+    struct obj *o;
+    r = rnew(NULL);
+    o = ralloc(r);
+    o->name = "static";
+    return 0;
+}`)
+	// A region object pointing at a string literal is always safe.
+	if inc := eff.Inconsistencies(); len(inc) != 0 {
+		t.Fatalf("string target flagged: %d", len(inc))
+	}
+}
+
+func TestRegionValuedFieldInconsistency(t *testing.T) {
+	// φ⁼: an object storing a REGION pointer is inconsistent when its
+	// own region has no order with the stored region.
+	eff := exec(t, rcPrelude+`
+struct ctx { region_t *scratch; };
+int main(void) {
+    region_t *a; region_t *b;
+    struct ctx *c;
+    a = rnew(NULL);
+    b = rnew(NULL);
+    c = ralloc(a);
+    c->scratch = b;
+    return 0;
+}`)
+	if inc := eff.Inconsistencies(); len(inc) != 1 {
+		t.Fatalf("region-valued field: %d inconsistencies, want 1", len(inc))
+	}
+}
+
+func TestDoWhileAndBreakContinue(t *testing.T) {
+	eff := exec(t, rcPrelude+`
+int main(void) {
+    int i; int total;
+    i = 0; total = 0;
+    do {
+        i++;
+        if (i == 2) continue;
+        if (i > 4) break;
+        total += i;
+    } while (i < 100);
+    /* total = 1 + 3 + 4 = 8 */
+    if (total != 8) { region_t *r; r = rnew(NULL); }
+    return 0;
+}`)
+	if len(eff.Regions) != 0 {
+		t.Fatal("do-while/break/continue arithmetic wrong (region created on failure path)")
+	}
+}

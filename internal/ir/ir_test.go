@@ -1,0 +1,206 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+)
+
+func TestOperandString(t *testing.T) {
+	v := &Var{Name: "x"}
+	cases := map[string]Operand{
+		"_":     {},
+		"x":     {Kind: VarOpd, Var: v},
+		"42":    {Kind: ConstOpd, C: 42},
+		"&f":    {Kind: FuncOpd, Fn: "f"},
+		"str#3": {Kind: StringOpd, Str: 3},
+		"null":  {Kind: NullOpd},
+	}
+	for want, o := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Operand %+v = %q, want %q", o, got, want)
+		}
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	x := Operand{Kind: VarOpd, Var: &Var{Name: "x"}}
+	y := Operand{Kind: VarOpd, Var: &Var{Name: "y"}}
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: Assign, Dst: x, Src: y}, "x = ASSIGN y"},
+		{Instr{Op: Load, Dst: x, Base: y, Off: 8}, "x = LOAD [y+8]"},
+		{Instr{Op: Store, Base: x, Off: 4, Src: y}, "STORE [x+4] = y"},
+		{Instr{Op: Addr, Dst: x, Src: y}, "x = ADDR y"},
+		{Instr{Op: FieldAddr, Dst: x, Base: y, Off: 16}, "x = ADD y, 16"},
+		{Instr{Op: Call, Dst: x, Callee: Operand{Kind: FuncOpd, Fn: "g"}, Args: []Operand{y}}, "x = CALL &g(y)"},
+		{Instr{Op: Call, Callee: Operand{Kind: FuncOpd, Fn: "g"}}, "CALL &g()"},
+		{Instr{Op: Ret, Src: x}, "RET x"},
+		{Instr{Op: Ret}, "RET"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("Instr = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{
+		Assign: "ASSIGN", Load: "LOAD", Store: "STORE", Addr: "ADDR",
+		FieldAddr: "ADD", Call: "CALL", Ret: "RET",
+	} {
+		if op.String() != want {
+			t.Errorf("Op %d = %q, want %q", op, op.String(), want)
+		}
+	}
+}
+
+func TestDumpFormat(t *testing.T) {
+	p := lower(t, `int add(int a, int b) { return a + b; }`)
+	out := p.Funcs["add"].Dump()
+	if !strings.HasPrefix(out, "func add(a, b):") {
+		t.Fatalf("dump header: %q", out)
+	}
+	if !strings.Contains(out, "RET") {
+		t.Fatalf("dump body missing RET:\n%s", out)
+	}
+}
+
+func TestFuncNamesSorted(t *testing.T) {
+	p := lower(t, `
+int zeta(void) { return 0; }
+int alpha(void) { return zeta(); }
+int main(void) { return alpha(); }`)
+	names := p.FuncNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names unsorted: %v", names)
+		}
+	}
+}
+
+func TestLowerCompoundAssignPointer(t *testing.T) {
+	p := lower(t, `
+char * g(char *s) {
+    s += 3;
+    return s;
+}`)
+	fn := p.Funcs["g"]
+	// The compound assignment must keep s's abstract object flowing
+	// into the returned value.
+	found := false
+	for _, in := range fn.Instrs {
+		if in.Op == Assign && in.Src.Kind == VarOpd && in.Src.Var.Name == "s" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("compound pointer assign lost flow:\n%s", fn.Dump())
+	}
+}
+
+func TestLowerLogicalOperatorsEvaluateBothSides(t *testing.T) {
+	// Flow-insensitive lowering evaluates both operands (no branch
+	// pruning); ensure calls inside && appear.
+	p := lower(t, `
+extern int check(int x);
+int g(int a) { return a && check(a); }`)
+	fn := p.Funcs["g"]
+	calls := 0
+	for _, in := range fn.Instrs {
+		if in.Op == Call {
+			calls++
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("%d calls lowered, want 1", calls)
+	}
+}
+
+func TestLowerWhileAndDoWhile(t *testing.T) {
+	p := lower(t, `
+extern void tick(void);
+int g(int n) {
+    while (n > 0) { tick(); n--; }
+    do { tick(); } while (n < 3);
+    return n;
+}`)
+	fn := p.Funcs["g"]
+	calls := 0
+	for _, in := range fn.Instrs {
+		if in.Op == Call {
+			calls++
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("%d calls lowered from loops, want 2", calls)
+	}
+}
+
+func TestLowerCastChainPreservesValue(t *testing.T) {
+	p := lower(t, `
+extern void *malloc(unsigned long n);
+long g(void) {
+    void *p;
+    long x;
+    p = malloc(8);
+    x = (long)(char *)p;
+    return x;
+}`)
+	fn := p.Funcs["g"]
+	// x must be assigned (directly) from p.
+	ok := false
+	for _, in := range fn.Instrs {
+		if in.Op == Assign && in.Dst.Var != nil && in.Dst.Var.Name == "x" &&
+			in.Src.Kind == VarOpd && in.Src.Var.Name == "p" {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("cast chain broke flow:\n%s", fn.Dump())
+	}
+}
+
+func TestExternsRecorded(t *testing.T) {
+	p := lower(t, `
+extern int close(int fd);
+int main(void) { return close(1); }`)
+	if _, ok := p.Externs["close"]; !ok {
+		t.Fatal("extern close not recorded")
+	}
+}
+
+func TestAddressOfFieldOfPointer(t *testing.T) {
+	p := lower(t, `
+struct s { long a; long b; };
+long * g(struct s *p) { return &p->b; }`)
+	fn := p.Funcs["g"]
+	var fa *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == FieldAddr {
+			fa = in
+		}
+	}
+	if fa == nil || fa.Off != 8 {
+		t.Fatalf("&p->b: %v", fa)
+	}
+}
+
+func TestAddressOfFirstFieldIsBase(t *testing.T) {
+	// &p->a at offset 0 needs no ADD: the base pointer suffices.
+	p := lower(t, `
+struct s { long a; long b; };
+long * g(struct s *p) { return &p->a; }`)
+	fn := p.Funcs["g"]
+	for _, in := range fn.Instrs {
+		if in.Op == FieldAddr {
+			t.Fatalf("offset-0 field address emitted ADD:\n%s", fn.Dump())
+		}
+	}
+}
+
+var _ = cminor.Pos{} // keep the import for helpers in lower_test.go

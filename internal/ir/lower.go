@@ -1,0 +1,440 @@
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/cminor"
+)
+
+// InitFuncName is the synthetic function holding global variable
+// initializers. The call-graph phase treats it as reachable alongside
+// the program entry.
+const InitFuncName = "__global_init"
+
+// Lower converts checked files into an IR program. The checker's Info
+// must come from cminor.Check over exactly these files.
+func Lower(info *cminor.Info, files ...*cminor.File) *Program {
+	b := &builder{
+		prog: &Program{
+			Funcs:   make(map[string]*Func),
+			Externs: make(map[string]*cminor.FuncObject),
+			Globals: make(map[string]*Var),
+			Info:    info,
+		},
+		info: info,
+		vars: make(map[*cminor.VarObject]*Var),
+	}
+	// Globals first so bodies can reference them.
+	for name, obj := range info.Globals {
+		v := b.newVar(name, nil)
+		v.Global = true
+		v.PointerLike = cminor.IsPointer(obj.Type)
+		b.prog.Globals[name] = v
+		b.vars[obj] = v
+	}
+	// Externs: declared or implicit functions without bodies.
+	for name, fo := range info.Funcs {
+		if fo.Decl == nil || fo.Decl.Body == nil {
+			b.prog.Externs[name] = fo
+		}
+	}
+	// Global initializers run in a synthetic function.
+	initFn := &Func{Name: InitFuncName}
+	b.fn = initFn
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if vd, ok := d.(*cminor.VarDecl); ok && vd.Init != nil {
+				if g, ok := b.prog.Globals[vd.Name]; ok {
+					src := b.expr(vd.Init)
+					b.emit(&Instr{Op: Assign, Dst: varOpd(g), Src: src, Pos: vd.Pos})
+				}
+			}
+		}
+	}
+	if len(initFn.Instrs) > 0 {
+		b.prog.Funcs[InitFuncName] = initFn
+	}
+	b.fn = nil
+	// Function bodies.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*cminor.FuncDecl); ok && fd.Body != nil {
+				b.lowerFunc(fd)
+			}
+		}
+	}
+	return b.prog
+}
+
+type builder struct {
+	prog *Program
+	info *cminor.Info
+	fn   *Func
+	vars map[*cminor.VarObject]*Var
+	tmps int
+}
+
+func (b *builder) newVar(name string, fn *Func) *Var {
+	v := &Var{ID: len(b.prog.Vars), Name: name, Func: fn}
+	b.prog.Vars = append(b.prog.Vars, v)
+	return v
+}
+
+func (b *builder) temp() *Var {
+	b.tmps++
+	v := b.newVar(fmt.Sprintf("t%d", b.tmps), b.fn)
+	v.Temp = true
+	return v
+}
+
+func (b *builder) emit(in *Instr) *Instr {
+	in.ID = len(b.prog.Instrs)
+	in.Func = b.fn
+	b.prog.Instrs = append(b.prog.Instrs, in)
+	b.fn.Instrs = append(b.fn.Instrs, in)
+	return in
+}
+
+func varOpd(v *Var) Operand    { return Operand{Kind: VarOpd, Var: v} }
+func constOpd(c int64) Operand { return Operand{Kind: ConstOpd, C: c} }
+
+func (b *builder) lowerFunc(fd *cminor.FuncDecl) {
+	fi := b.info.FuncInfo[fd]
+	fn := &Func{Name: fd.Name, Decl: fd, Variadic: fd.Variadic}
+	if _, isVoid := b.info.Funcs[fd.Name].Type.Ret.(*cminor.VoidType); !isVoid {
+		fn.Ret = true
+	}
+	b.prog.Funcs[fd.Name] = fn
+	b.fn = fn
+	for _, p := range fi.Params {
+		v := b.newVar(p.Name, fn)
+		v.Param = true
+		v.PointerLike = cminor.IsPointer(p.Type)
+		b.vars[p] = v
+		fn.Params = append(fn.Params, v)
+	}
+	fn.RetVal = b.newVar("__ret", fn)
+	for _, l := range fi.Locals {
+		v := b.newVar(l.Name, fn)
+		v.PointerLike = cminor.IsPointer(l.Type)
+		b.vars[l] = v
+	}
+	b.stmt(fd.Body)
+	b.fn = nil
+}
+
+// --- statements ---
+
+func (b *builder) stmt(s cminor.Stmt) {
+	switch s := s.(type) {
+	case *cminor.Block:
+		for _, st := range s.Stmts {
+			b.stmt(st)
+		}
+	case *cminor.DeclStmt:
+		if s.Decl.Init != nil {
+			obj := b.localObject(s.Decl)
+			src := b.expr(s.Decl.Init)
+			b.emit(&Instr{Op: Assign, Dst: varOpd(obj), Src: src, Pos: s.Decl.Pos})
+		}
+	case *cminor.ExprStmt:
+		b.expr(s.X)
+	case *cminor.If:
+		b.expr(s.Cond)
+		b.stmt(s.Then)
+		if s.Else != nil {
+			b.stmt(s.Else)
+		}
+	case *cminor.While:
+		b.expr(s.Cond)
+		b.stmt(s.Body)
+	case *cminor.For:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			b.expr(s.Cond)
+		}
+		b.stmt(s.Body)
+		if s.Post != nil {
+			b.expr(s.Post)
+		}
+	case *cminor.Switch:
+		b.expr(s.Cond)
+		for _, cs := range s.Cases {
+			for _, v := range cs.Values {
+				b.expr(v)
+			}
+			for _, st := range cs.Body {
+				b.stmt(st)
+			}
+		}
+	case *cminor.Return:
+		src := Operand{}
+		if s.X != nil {
+			src = b.expr(s.X)
+			b.emit(&Instr{Op: Assign, Dst: varOpd(b.fn.RetVal), Src: src, Pos: s.Pos})
+		}
+		b.emit(&Instr{Op: Ret, Src: varOpd(b.fn.RetVal), Pos: s.Pos})
+	case *cminor.Break, *cminor.Continue, *cminor.Empty:
+	}
+}
+
+// localObject finds the *Var for a local declaration via the checker's
+// FuncInfo (each VarDecl maps to exactly one VarObject).
+func (b *builder) localObject(d *cminor.VarDecl) *Var {
+	fi := b.info.FuncInfo[b.fn.Decl]
+	for _, l := range fi.Locals {
+		if l.Decl == d {
+			return b.vars[l]
+		}
+	}
+	// Fall back to a fresh temp so lowering never crashes on checker
+	// gaps; the effect is an isolated variable.
+	return b.temp()
+}
+
+// --- expressions ---
+
+// place describes an assignable location: either a variable or a
+// memory cell [base+off].
+type place struct {
+	v    *Var    // non-nil for variable places
+	base Operand // memory places
+	off  int64
+}
+
+func (b *builder) expr(e cminor.Expr) Operand {
+	switch e := e.(type) {
+	case *cminor.Ident:
+		switch obj := b.info.Uses[e].(type) {
+		case *cminor.VarObject:
+			v := b.vars[obj]
+			if v == nil {
+				v = b.globalFallback(obj)
+			}
+			// Array-typed variables decay to a pointer to their
+			// storage.
+			if _, isArr := obj.Type.(*cminor.ArrayType); isArr {
+				t := b.temp()
+				v.AddrTaken = true
+				b.emit(&Instr{Op: Addr, Dst: varOpd(t), Src: varOpd(v), Pos: e.Pos})
+				return varOpd(t)
+			}
+			return varOpd(v)
+		case *cminor.FuncObject:
+			return Operand{Kind: FuncOpd, Fn: obj.Name}
+		case *cminor.EnumConst:
+			return constOpd(obj.Value)
+		}
+		return constOpd(0)
+	case *cminor.IntLit:
+		return constOpd(e.V)
+	case *cminor.StrLit:
+		idx := len(b.prog.Strings)
+		b.prog.Strings = append(b.prog.Strings, StringLit{Value: e.V, Pos: e.Pos})
+		t := b.temp()
+		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: Operand{Kind: StringOpd, Str: idx}, Pos: e.Pos})
+		return varOpd(t)
+	case *cminor.Null:
+		return Operand{Kind: NullOpd}
+	case *cminor.Unary:
+		return b.unary(e)
+	case *cminor.Postfix:
+		// x++ / x-- : value stays in the same abstract object.
+		return b.expr(e.X)
+	case *cminor.Binary:
+		return b.binary(e)
+	case *cminor.AssignExpr:
+		return b.assign(e)
+	case *cminor.CondExpr:
+		b.expr(e.Cond)
+		t := b.temp()
+		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: b.expr(e.Then), Pos: e.Pos})
+		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: b.expr(e.Else), Pos: e.Pos})
+		return varOpd(t)
+	case *cminor.Call:
+		return b.call(e)
+	case *cminor.Index, *cminor.FieldAccess:
+		return b.readPlace(b.lvalue(e), cminor.ExprPos(e))
+	case *cminor.Cast:
+		// Casts (including int<->pointer) are value-preserving.
+		return b.expr(e.X)
+	case *cminor.SizeofType:
+		if sz, ok := b.info.Sizeofs[e]; ok {
+			return constOpd(sz)
+		}
+		return constOpd(8)
+	case *cminor.SizeofExpr:
+		b.expr(e.X)
+		if sz, ok := b.info.Sizeofs[e]; ok {
+			return constOpd(sz)
+		}
+		return constOpd(8)
+	}
+	return constOpd(0)
+}
+
+func (b *builder) globalFallback(obj *cminor.VarObject) *Var {
+	if v, ok := b.prog.Globals[obj.Name]; ok {
+		b.vars[obj] = v
+		return v
+	}
+	v := b.newVar(obj.Name, nil)
+	v.Global = true
+	b.prog.Globals[obj.Name] = v
+	b.vars[obj] = v
+	return v
+}
+
+func (b *builder) unary(e *cminor.Unary) Operand {
+	switch e.Op {
+	case cminor.Star:
+		base := b.expr(e.X)
+		t := b.temp()
+		b.emit(&Instr{Op: Load, Dst: varOpd(t), Base: base, Off: 0, Pos: e.Pos})
+		return varOpd(t)
+	case cminor.Amp:
+		return b.addressOf(e.X, e.Pos)
+	case cminor.Inc, cminor.Dec, cminor.Minus, cminor.Tilde, cminor.Not:
+		// Arithmetic/logical unaries preserve the abstract value for
+		// the weakly-typed analysis (pointer arithmetic keeps the
+		// object, Section 5.5).
+		return b.expr(e.X)
+	}
+	return constOpd(0)
+}
+
+// addressOf lowers &x for the supported lvalue shapes.
+func (b *builder) addressOf(x cminor.Expr, pos cminor.Pos) Operand {
+	pl := b.lvalue(x)
+	if pl.v != nil {
+		pl.v.AddrTaken = true
+		t := b.temp()
+		b.emit(&Instr{Op: Addr, Dst: varOpd(t), Src: varOpd(pl.v), Pos: pos})
+		return varOpd(t)
+	}
+	if pl.off == 0 {
+		return pl.base
+	}
+	t := b.temp()
+	b.emit(&Instr{Op: FieldAddr, Dst: varOpd(t), Base: pl.base, Off: pl.off, Pos: pos})
+	return varOpd(t)
+}
+
+func (b *builder) binary(e *cminor.Binary) Operand {
+	x := b.expr(e.X)
+	y := b.expr(e.Y)
+	xt := b.info.Types[e.X]
+	yt := b.info.Types[e.Y]
+	// Pointer arithmetic: the result stays within the pointed-to
+	// object (constant offsets beyond fields are not tracked —
+	// the documented Section 5.5 unsoundness).
+	if e.Op == cminor.Plus || e.Op == cminor.Minus {
+		if xt != nil && cminor.IsPointer(xt) {
+			return x
+		}
+		if yt != nil && cminor.IsPointer(yt) {
+			return y
+		}
+	}
+	// Comparisons and integer arithmetic: results are scalar; merge
+	// both sides so int<->pointer laundering via arithmetic stays
+	// visible to the weakly-typed analysis.
+	t := b.temp()
+	b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: x, Pos: e.Pos})
+	b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: y, Pos: e.Pos})
+	return varOpd(t)
+}
+
+func (b *builder) assign(e *cminor.AssignExpr) Operand {
+	src := b.expr(e.RHS)
+	if e.Op != cminor.Assign {
+		// Compound assignment: merge old and new values.
+		t := b.temp()
+		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: src, Pos: e.Pos})
+		old := b.readPlace(b.lvalue(e.LHS), e.Pos)
+		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: old, Pos: e.Pos})
+		src = varOpd(t)
+	}
+	pl := b.lvalue(e.LHS)
+	if pl.v != nil {
+		b.emit(&Instr{Op: Assign, Dst: varOpd(pl.v), Src: src, Pos: e.Pos})
+	} else {
+		b.emit(&Instr{Op: Store, Base: pl.base, Off: pl.off, Src: src, Pos: e.Pos})
+	}
+	return src
+}
+
+func (b *builder) call(e *cminor.Call) Operand {
+	var callee Operand
+	if id, ok := e.Fun.(*cminor.Ident); ok {
+		if fo, ok := b.info.Uses[id].(*cminor.FuncObject); ok {
+			callee = Operand{Kind: FuncOpd, Fn: fo.Name}
+		}
+	}
+	if callee.IsNone() {
+		callee = b.expr(e.Fun)
+	}
+	args := make([]Operand, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = b.expr(a)
+	}
+	dst := b.temp()
+	b.emit(&Instr{Op: Call, Dst: varOpd(dst), Callee: callee, Args: args, Pos: e.Pos})
+	return varOpd(dst)
+}
+
+// lvalue resolves an assignable expression to a place.
+func (b *builder) lvalue(e cminor.Expr) place {
+	switch e := e.(type) {
+	case *cminor.Ident:
+		if obj, ok := b.info.Uses[e].(*cminor.VarObject); ok {
+			v := b.vars[obj]
+			if v == nil {
+				v = b.globalFallback(obj)
+			}
+			return place{v: v}
+		}
+	case *cminor.Unary:
+		if e.Op == cminor.Star {
+			return place{base: b.expr(e.X)}
+		}
+	case *cminor.Index:
+		// Arrays collapse to offset 0 (index-insensitive).
+		return place{base: b.expr(e.X)}
+	case *cminor.FieldAccess:
+		fi, ok := b.info.Fields[e]
+		off := int64(0)
+		if ok {
+			off = fi.Field.Offset
+		}
+		if e.Arrow {
+			return place{base: b.expr(e.X), off: off}
+		}
+		inner := b.lvalue(e.X)
+		if inner.v != nil {
+			inner.v.AddrTaken = true
+			t := b.temp()
+			b.emit(&Instr{Op: Addr, Dst: varOpd(t), Src: varOpd(inner.v), Pos: e.Pos})
+			return place{base: varOpd(t), off: off}
+		}
+		return place{base: inner.base, off: inner.off + off}
+	case *cminor.Cast:
+		return b.lvalue(e.X)
+	}
+	// Not an lvalue we track: evaluate for effect, park in a temp.
+	t := b.temp()
+	b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: b.expr(e), Pos: cminor.ExprPos(e)})
+	return place{v: t}
+}
+
+// readPlace loads the value stored at a place.
+func (b *builder) readPlace(pl place, pos cminor.Pos) Operand {
+	if pl.v != nil {
+		return varOpd(pl.v)
+	}
+	t := b.temp()
+	b.emit(&Instr{Op: Load, Dst: varOpd(t), Base: pl.base, Off: pl.off, Pos: pos})
+	return varOpd(t)
+}

@@ -1,0 +1,312 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+)
+
+func lower(t *testing.T, src string) *Program {
+	t.Helper()
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse errors: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check errors: %v", info.Errors)
+	}
+	return Lower(info, f)
+}
+
+func ops(fn *Func) []Op {
+	out := make([]Op, len(fn.Instrs))
+	for i, in := range fn.Instrs {
+		out[i] = in.Op
+	}
+	return out
+}
+
+func TestLowerAssignAndReturn(t *testing.T) {
+	p := lower(t, `int id(int x) { return x; }`)
+	fn := p.Funcs["id"]
+	if fn == nil {
+		t.Fatal("id not lowered")
+	}
+	got := ops(fn)
+	want := []Op{Assign, Ret}
+	if len(got) != len(want) {
+		t.Fatalf("ops = %v, want %v", got, want)
+	}
+	if fn.Instrs[0].Dst.Var != fn.RetVal {
+		t.Fatal("return does not assign RetVal")
+	}
+}
+
+func TestLowerFieldStoreMirrorsPaperFigure1(t *testing.T) {
+	// The store req->connection = conn from Figure 1 must become a
+	// STORE with the field's byte offset.
+	p := lower(t, `
+struct conn_t { int fd; };
+struct req_t { int id; struct conn_t *connection; };
+void g(struct req_t *req, struct conn_t *conn) {
+    req->connection = conn;
+}`)
+	fn := p.Funcs["g"]
+	var store *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Store {
+			store = in
+		}
+	}
+	if store == nil {
+		t.Fatal("no STORE emitted")
+	}
+	if store.Off != 8 {
+		t.Fatalf("STORE offset = %d, want 8 (connection after padded int id)", store.Off)
+	}
+	if store.Base.Kind != VarOpd || store.Base.Var.Name != "req" {
+		t.Fatalf("STORE base = %v", store.Base)
+	}
+	if store.Src.Kind != VarOpd || store.Src.Var.Name != "conn" {
+		t.Fatalf("STORE src = %v", store.Src)
+	}
+}
+
+func TestLowerFieldLoadChain(t *testing.T) {
+	p := lower(t, `
+struct a { struct a *next; int v; };
+int g(struct a *p) { return p->next->v; }`)
+	fn := p.Funcs["g"]
+	var loads []*Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Load {
+			loads = append(loads, in)
+		}
+	}
+	if len(loads) != 2 {
+		t.Fatalf("%d loads, want 2", len(loads))
+	}
+	if loads[0].Off != 0 || loads[1].Off != 8 {
+		t.Fatalf("load offsets = %d,%d want 0,8", loads[0].Off, loads[1].Off)
+	}
+	// Second load's base must be the first load's destination.
+	if loads[1].Base.Var != loads[0].Dst.Var {
+		t.Fatal("load chain not threaded through temp")
+	}
+}
+
+func TestLowerAddressOf(t *testing.T) {
+	p := lower(t, `
+extern int take(int **pp);
+int g(void) {
+    int *x;
+    take(&x);
+    return 0;
+}`)
+	fn := p.Funcs["g"]
+	var addr *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Addr {
+			addr = in
+		}
+	}
+	if addr == nil {
+		t.Fatal("no ADDR emitted for &x")
+	}
+	if addr.Src.Var.Name != "x" || !addr.Src.Var.AddrTaken {
+		t.Fatalf("ADDR of %v, AddrTaken=%v", addr.Src, addr.Src.Var.AddrTaken)
+	}
+}
+
+func TestLowerCallDirectAndIndirect(t *testing.T) {
+	p := lower(t, `
+int f(int x) { return x; }
+int g(void) {
+    int (*fp)(int);
+    fp = f;
+    return fp(3) + f(4);
+}`)
+	fn := p.Funcs["g"]
+	var direct, indirect *Instr
+	for _, in := range fn.Instrs {
+		if in.Op != Call {
+			continue
+		}
+		switch in.Callee.Kind {
+		case FuncOpd:
+			direct = in
+		case VarOpd:
+			indirect = in
+		}
+	}
+	if direct == nil || direct.Callee.Fn != "f" {
+		t.Fatalf("direct call: %v", direct)
+	}
+	if indirect == nil || indirect.Callee.Var.Name != "fp" {
+		t.Fatalf("indirect call: %v", indirect)
+	}
+	// fp = f must assign a function operand.
+	found := false
+	for _, in := range fn.Instrs {
+		if in.Op == Assign && in.Src.Kind == FuncOpd && in.Src.Fn == "f" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("function pointer assignment not lowered")
+	}
+}
+
+func TestLowerDerefStore(t *testing.T) {
+	// apr_pool_create-style out-parameter write: *newp = value.
+	p := lower(t, `
+void g(int **newp, int *v) { *newp = v; }`)
+	fn := p.Funcs["g"]
+	var store *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Store {
+			store = in
+		}
+	}
+	if store == nil || store.Off != 0 {
+		t.Fatalf("deref store: %v", store)
+	}
+	if store.Base.Var.Name != "newp" || store.Src.Var.Name != "v" {
+		t.Fatalf("store operands: %v %v", store.Base, store.Src)
+	}
+}
+
+func TestLowerStringLiteral(t *testing.T) {
+	p := lower(t, `
+char * g(void) { return "hello"; }
+char * h(void) { return "hello"; }`)
+	if len(p.Strings) != 2 {
+		t.Fatalf("%d string sites, want 2 (per-site objects, not interned)", len(p.Strings))
+	}
+	if p.Strings[0].Value != "hello" {
+		t.Fatalf("string value %q", p.Strings[0].Value)
+	}
+}
+
+func TestLowerGlobalInit(t *testing.T) {
+	p := lower(t, `
+int x = 42;
+int *gp = &x;
+int g(void) { return *gp; }`)
+	initFn := p.Funcs[InitFuncName]
+	if initFn == nil {
+		t.Fatal("no global init function")
+	}
+	hasAddr := false
+	for _, in := range initFn.Instrs {
+		if in.Op == Addr && in.Src.Var.Name == "x" {
+			hasAddr = true
+		}
+	}
+	if !hasAddr {
+		t.Fatal("global initializer &x not lowered")
+	}
+}
+
+func TestLowerTernaryMergesBothArms(t *testing.T) {
+	p := lower(t, `
+int *g(int c, int *a, int *b) { return c ? a : b; }`)
+	fn := p.Funcs["g"]
+	// Both a and b must flow into one temp.
+	var dst *Var
+	srcs := map[string]bool{}
+	for _, in := range fn.Instrs {
+		if in.Op == Assign && in.Src.Kind == VarOpd &&
+			(in.Src.Var.Name == "a" || in.Src.Var.Name == "b") {
+			if dst == nil {
+				dst = in.Dst.Var
+			} else if in.Dst.Var != dst {
+				t.Fatal("ternary arms assigned to different temps")
+			}
+			srcs[in.Src.Var.Name] = true
+		}
+	}
+	if !srcs["a"] || !srcs["b"] {
+		t.Fatalf("ternary arms lowered: %v", srcs)
+	}
+}
+
+func TestLowerArrayDecayAndIndex(t *testing.T) {
+	p := lower(t, `
+int g(void) {
+    int a[8];
+    int *p;
+    p = a;
+    a[3] = 7;
+    return p[2];
+}`)
+	fn := p.Funcs["g"]
+	text := fn.Dump()
+	if !strings.Contains(text, "ADDR a") {
+		t.Fatalf("array decay missing ADDR:\n%s", text)
+	}
+	var store *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Store {
+			store = in
+		}
+	}
+	if store == nil || store.Off != 0 {
+		t.Fatalf("array store = %v (index-insensitive offset 0 expected)", store)
+	}
+}
+
+func TestLowerDotFieldOnLocalStruct(t *testing.T) {
+	p := lower(t, `
+struct pair { int a; int b; };
+int g(void) {
+    struct pair p;
+    p.b = 3;
+    return p.b;
+}`)
+	fn := p.Funcs["g"]
+	var store *Instr
+	for _, in := range fn.Instrs {
+		if in.Op == Store {
+			store = in
+		}
+	}
+	if store == nil || store.Off != 4 {
+		t.Fatalf("p.b store = %v, want offset 4", store)
+	}
+}
+
+func TestInstrAndVarIDsAreDense(t *testing.T) {
+	p := lower(t, `
+int f(int x) { return x + 1; }
+int main(void) { return f(2); }`)
+	for i, in := range p.Instrs {
+		if in.ID != i {
+			t.Fatalf("instr %d has ID %d", i, in.ID)
+		}
+	}
+	for i, v := range p.Vars {
+		if v.ID != i {
+			t.Fatalf("var %d has ID %d", i, v.ID)
+		}
+	}
+}
+
+func TestLowerPointerArithmeticKeepsObject(t *testing.T) {
+	p := lower(t, `
+char * g(char *s) { return s + 4; }`)
+	fn := p.Funcs["g"]
+	// RetVal must be assigned (directly or via temp) from s, not a
+	// fresh unrelated temp.
+	assignedFromS := false
+	for _, in := range fn.Instrs {
+		if in.Op == Assign && in.Dst.Var == fn.RetVal && in.Src.Kind == VarOpd && in.Src.Var.Name == "s" {
+			assignedFromS = true
+		}
+	}
+	if !assignedFromS {
+		t.Fatalf("pointer arithmetic lost the object:\n%s", fn.Dump())
+	}
+}

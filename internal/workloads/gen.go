@@ -1,0 +1,509 @@
+// Package workloads generates synthetic CMinor packages that mimic the
+// region-usage shape of the paper's six benchmark packages (Figure 7):
+// staged applications with pool hierarchies, deep call paths through
+// which pools are threaded, and the specific inconsistency patterns the
+// paper reports (Figures 9, 10, 12 and the Section 6 case studies).
+//
+// The generators are deterministic in their seed, so the benchmark
+// harness reproduces identical corpora run over run. Each generated
+// package records exactly which bugs were planted, giving the Figure 8
+// reproduction a ground truth the original paper established by manual
+// inspection.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Pattern identifies a planted code pattern.
+type Pattern string
+
+// The planted patterns. "True" bugs are real lifetime inconsistencies;
+// the false-positive patterns are consistent code the flow-insensitive
+// analysis must nevertheless flag (the paper's Section 6.2).
+const (
+	// SiblingLeak: an object in one pool points into an unrelated
+	// sibling pool (Figure 2(c); high-ranked).
+	SiblingLeak Pattern = "sibling-leak"
+	// IteratorEscape: the Figure 9 hash-table/iterator shape — the
+	// iterator outlives the table's subpool.
+	IteratorEscape Pattern = "iterator-escape"
+	// StringShare: the rcc case — an object keeps a pointer to a
+	// string owned by an unrelated region (high-ranked).
+	StringShare Pattern = "string-share"
+	// InvertedLifetime: the Figure 12 Subversion parser shape — a
+	// subpool object handed to a parent-pool holder.
+	InvertedLifetime Pattern = "inverted-lifetime"
+	// TemporaryInconsistency: the Figure 10 shape — benign but
+	// reported (a warning that is a "temporary inconsistency").
+	TemporaryInconsistency Pattern = "temporary-inconsistency"
+	// AliasFalsePositive: the Section 6.2 make_error_internal shape —
+	// consistent code that needs path sensitivity to prove.
+	AliasFalsePositive Pattern = "alias-false-positive"
+)
+
+// TrueBug reports whether the pattern is a real inconsistency (vs a
+// false positive the analysis is documented to report).
+func (p Pattern) TrueBug() bool {
+	switch p {
+	case SiblingLeak, IteratorEscape, StringShare, InvertedLifetime:
+		return true
+	case TemporaryInconsistency:
+		return true // benign leak, but a real semantic violation
+	}
+	return false
+}
+
+// HighRanked reports whether the Section 5.4 heuristic ranks the
+// pattern high (some witnessing owner pair never related in either
+// direction). AliasFalsePositive ranks high exactly as the paper's
+// Section 6.2 case did — the heuristic cannot see that the fresh pool
+// is only created when the related path is dead.
+func (p Pattern) HighRanked() bool {
+	switch p {
+	case SiblingLeak, StringShare, AliasFalsePositive:
+		return true
+	}
+	return false
+}
+
+// Plant is one planted pattern instance.
+type Plant struct {
+	Pattern Pattern
+	// Func is the generated function containing the pattern.
+	Func string
+}
+
+// Spec describes one synthetic package.
+type Spec struct {
+	Name string
+	// Exes is the number of executables (Figure 7's exe column).
+	Exes int
+	// Stages is the number of pipeline stages per executable; Depth
+	// is how deeply stages nest; Fanout how many callees each stage
+	// invokes. Together they set call-path counts (and so context
+	// counts, the paper's scalability axis).
+	Stages, Depth, Fanout int
+	// FillerFuncs pads the package with analysis-neutral code to
+	// approximate the Figure 7 KLOC ratios.
+	FillerFuncs int
+	// Plants lists the bug patterns to inject, round-robin across
+	// executables.
+	Plants []Pattern
+	// Interface selects "apr" or "rc".
+	Interface string
+	// SharedLib emits a shared library file of region wrappers
+	// (lib_make_pool / lib_alloc_node, the svn_pool_create shape) that
+	// every executable links; stages then create regions and objects
+	// through the wrappers, exercising heap cloning across files —
+	// the way APR is shared by the paper's Figure 7 packages.
+	SharedLib bool
+}
+
+// Exe is one generated executable.
+type Exe struct {
+	Name   string
+	Source string
+	Plants []Plant
+}
+
+// Package is a generated corpus entry.
+type Package struct {
+	Spec Spec
+	Exes []Exe
+	// Lib is the shared library source ("" unless Spec.SharedLib).
+	Lib string
+	// KLOC is the generated source size in thousands of lines.
+	KLOC float64
+}
+
+// SourcesFor returns the path -> source map to analyze one executable
+// (its own file plus the shared library when present).
+func (p *Package) SourcesFor(exe Exe) map[string]string {
+	m := map[string]string{exe.Name + ".c": exe.Source}
+	if p.Lib != "" {
+		m[p.Spec.Name+"-lib.c"] = p.Lib
+	}
+	return m
+}
+
+const aprTypes = `typedef struct apr_pool_t apr_pool_t;
+typedef long apr_status_t;
+typedef unsigned long apr_size_t;
+typedef apr_status_t (*cleanup_t)(void *data);
+extern apr_status_t apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void *apr_palloc(apr_pool_t *p, apr_size_t size);
+extern void *apr_pcalloc(apr_pool_t *p, apr_size_t size);
+extern void *apr_pstrdup(apr_pool_t *p, const char *s);
+extern void apr_pool_clear(apr_pool_t *p);
+extern void apr_pool_destroy(apr_pool_t *p);
+extern void apr_pool_cleanup_register(apr_pool_t *p, const void *data, cleanup_t plain_cleanup, cleanup_t child_cleanup);
+`
+
+const aprStruct = `
+struct node { struct node *next; void *data; char *name; apr_pool_t *home; };
+typedef struct node node_t;
+`
+
+const aprPrelude = aprTypes + aprStruct
+
+const rcTypes = `typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+extern void *rstrdup(region_t *r);
+extern void deleteregion(region_t *r);
+`
+
+const rcStruct = `
+struct node { struct node *next; void *data; char *name; region_t *home; };
+typedef struct node node_t;
+`
+
+const rcPrelude = rcTypes + rcStruct
+
+// structForward declares the node type without defining it (the
+// definition lives in the shared library file).
+const structForward = `
+struct node;
+typedef struct node node_t;
+`
+
+// iface abstracts the two interfaces for the generator templates.
+type iface struct {
+	prelude string
+	// types is the prelude without the node struct definition.
+	types string
+	// poolType is the region handle type name.
+	poolType string
+	// create emits "child = create(parent);".
+	create func(child, parent string) string
+	// alloc emits "v = alloc(pool);".
+	alloc func(v, pool string) string
+	// strdupIn emits "v = strdup(pool, lit);".
+	strdupIn func(v, pool, lit string) string
+	// destroy emits "destroy(pool);".
+	destroy func(pool string) string
+}
+
+func interfaceFor(name string) iface {
+	if name == "rc" {
+		return iface{
+			prelude:  rcPrelude,
+			types:    rcTypes,
+			poolType: "region_t",
+			create: func(c, p string) string {
+				return fmt.Sprintf("%s = rnew(%s);", c, p)
+			},
+			alloc: func(v, p string) string {
+				return fmt.Sprintf("%s = ralloc(%s);", v, p)
+			},
+			strdupIn: func(v, p, lit string) string {
+				return fmt.Sprintf("%s = rstrdup(%s);", v, p)
+			},
+			destroy: func(p string) string {
+				return fmt.Sprintf("deleteregion(%s);", p)
+			},
+		}
+	}
+	return iface{
+		prelude:  aprPrelude,
+		types:    aprTypes,
+		poolType: "apr_pool_t",
+		create: func(c, p string) string {
+			return fmt.Sprintf("apr_pool_create(&%s, %s);", c, p)
+		},
+		alloc: func(v, p string) string {
+			return fmt.Sprintf("%s = apr_palloc(%s, 32);", v, p)
+		},
+		strdupIn: func(v, p, lit string) string {
+			return fmt.Sprintf("%s = apr_pstrdup(%s, %s);", v, p, lit)
+		},
+		destroy: func(p string) string {
+			return fmt.Sprintf("apr_pool_destroy(%s);", p)
+		},
+	}
+}
+
+// Generate builds the package deterministically from the seed.
+func Generate(spec Spec, seed int64) *Package {
+	pkg := &Package{Spec: spec}
+	lines := 0
+	if spec.SharedLib {
+		pkg.Lib = libSource(spec.Interface)
+		lines += strings.Count(pkg.Lib, "\n")
+	}
+	for e := 0; e < spec.Exes; e++ {
+		exe := generateExe(spec, e, rand.New(rand.NewSource(seed+int64(e)*7919)))
+		pkg.Exes = append(pkg.Exes, exe)
+		lines += strings.Count(exe.Source, "\n")
+	}
+	pkg.KLOC = float64(lines) / 1000
+	return pkg
+}
+
+// libSource emits the shared wrapper library for a package.
+func libSource(ifaceName string) string {
+	api := interfaceFor(ifaceName)
+	var sb strings.Builder
+	sb.WriteString(api.prelude)
+	sb.WriteString("\n")
+	pt := api.poolType
+	fmt.Fprintf(&sb, "%s * lib_make_pool(%s *parent) {\n", pt, pt)
+	fmt.Fprintf(&sb, "    %s *p;\n", pt)
+	fmt.Fprintf(&sb, "    %s\n", api.create("p", "parent"))
+	fmt.Fprintf(&sb, "    return p;\n}\n\n")
+	fmt.Fprintf(&sb, "node_t * lib_alloc_node(%s *pool) {\n", pt)
+	fmt.Fprintf(&sb, "    node_t *n;\n")
+	fmt.Fprintf(&sb, "    %s\n", api.alloc("n", "pool"))
+	fmt.Fprintf(&sb, "    return n;\n}\n\n")
+	fmt.Fprintf(&sb, "void lib_destroy(%s *pool) {\n", pt)
+	fmt.Fprintf(&sb, "    %s\n}\n\n", api.destroy("pool"))
+	return sb.String()
+}
+
+// exePrelude returns an executable's leading declarations: the full
+// interface prelude normally, or forward declarations plus the shared
+// library's externs when the package has one.
+func exePrelude(spec Spec, api iface) string {
+	if !spec.SharedLib {
+		return api.prelude + "\n"
+	}
+	var sb strings.Builder
+	// Repeat the typedefs and extern runtime functions (legal across
+	// translation units) but NOT the node struct definition, which
+	// lives in the library file.
+	sb.WriteString(api.types)
+	sb.WriteString(structForward)
+	pt := api.poolType
+	fmt.Fprintf(&sb, "extern %s *lib_make_pool(%s *parent);\n", pt, pt)
+	fmt.Fprintf(&sb, "extern node_t *lib_alloc_node(%s *pool);\n", pt)
+	fmt.Fprintf(&sb, "extern void lib_destroy(%s *pool);\n\n", pt)
+	return sb.String()
+}
+
+func generateExe(spec Spec, exeIdx int, rng *rand.Rand) Exe {
+	api := interfaceFor(spec.Interface)
+	var sb strings.Builder
+	sb.WriteString(exePrelude(spec, api))
+
+	g := &exeGen{spec: spec, api: api, rng: rng, sb: &sb}
+
+	// Filler: analysis-neutral integer helpers.
+	for i := 0; i < spec.FillerFuncs; i++ {
+		g.filler(i)
+	}
+
+	// Planted bug pattern functions (round-robin across executables).
+	var plants []Plant
+	for i, pat := range spec.Plants {
+		if i%spec.Exes != exeIdx {
+			continue
+		}
+		fn := g.plant(pat, i)
+		plants = append(plants, Plant{Pattern: pat, Func: fn})
+	}
+
+	// Stage pipeline: stage_<d>_<s>(pool) creates a subpool, builds a
+	// consistent local structure, and calls deeper stages.
+	for d := spec.Depth - 1; d >= 0; d-- {
+		for s := 0; s < spec.Stages; s++ {
+			g.stage(d, s, plants)
+		}
+	}
+
+	// main: a root pool driving the top stages in a request loop.
+	fmt.Fprintf(&sb, "int main(int argc) {\n")
+	fmt.Fprintf(&sb, "    %s *root;\n    int i;\n", api.poolType)
+	switch {
+	case spec.SharedLib:
+		fmt.Fprintf(&sb, "    root = lib_make_pool(NULL);\n")
+	case spec.Interface == "rc":
+		fmt.Fprintf(&sb, "    root = rnew(NULL);\n")
+	default:
+		fmt.Fprintf(&sb, "    apr_pool_create(&root, NULL);\n")
+	}
+	fmt.Fprintf(&sb, "    for (i = 0; i < argc; i++) {\n")
+	for s := 0; s < spec.Stages; s++ {
+		fmt.Fprintf(&sb, "        stage_0_%d(root);\n", s)
+	}
+	fmt.Fprintf(&sb, "    }\n")
+	fmt.Fprintf(&sb, "    %s\n", g.destroyStmt("root"))
+	fmt.Fprintf(&sb, "    return 0;\n}\n")
+
+	return Exe{
+		Name:   fmt.Sprintf("%s-%d", spec.Name, exeIdx),
+		Source: sb.String(),
+		Plants: plants,
+	}
+}
+
+type exeGen struct {
+	spec spec2
+	api  iface
+	rng  *rand.Rand
+	sb   *strings.Builder
+}
+
+// spec2 aliases Spec to keep the struct literal short.
+type spec2 = Spec
+
+// filler emits an analysis-neutral integer helper with some volume.
+// Some fillers dispatch over an enum with a switch — the staged-
+// application control flow real packages are full of.
+func (g *exeGen) filler(i int) {
+	if g.rng.Intn(4) == 0 {
+		fmt.Fprintf(g.sb, "enum filler_mode_%d { F%d_A, F%d_B = %d, F%d_C };\n",
+			i, i, i, 2+g.rng.Intn(9), i)
+		fmt.Fprintf(g.sb, "int filler_%d(int x) {\n", i)
+		fmt.Fprintf(g.sb, "    int acc;\n    acc = x;\n")
+		fmt.Fprintf(g.sb, "    switch (x %% 3) {\n")
+		fmt.Fprintf(g.sb, "    case 0: acc = acc + F%d_A; break;\n", i)
+		fmt.Fprintf(g.sb, "    case 1: acc = acc + F%d_B; break;\n", i)
+		fmt.Fprintf(g.sb, "    default: acc = acc + F%d_C;\n", i)
+		fmt.Fprintf(g.sb, "    }\n    return acc;\n}\n\n")
+		return
+	}
+	fmt.Fprintf(g.sb, "int filler_%d(int x) {\n", i)
+	fmt.Fprintf(g.sb, "    int acc;\n    int k;\n    acc = %d;\n", g.rng.Intn(100))
+	body := 3 + g.rng.Intn(6)
+	for j := 0; j < body; j++ {
+		switch g.rng.Intn(4) {
+		case 0:
+			fmt.Fprintf(g.sb, "    acc = acc * %d + x;\n", 1+g.rng.Intn(7))
+		case 1:
+			fmt.Fprintf(g.sb, "    if (acc > %d) acc = acc - x;\n", g.rng.Intn(1000))
+		case 2:
+			fmt.Fprintf(g.sb, "    for (k = 0; k < %d; k++) acc = acc + k;\n", 1+g.rng.Intn(9))
+		default:
+			fmt.Fprintf(g.sb, "    acc = acc ^ %d;\n", g.rng.Intn(255))
+		}
+	}
+	fmt.Fprintf(g.sb, "    return acc;\n}\n\n")
+}
+
+// createStmt/allocStmt/destroyStmt route region operations through the
+// shared library wrappers when the package has one.
+func (g *exeGen) createStmt(c, p string) string {
+	if g.spec.SharedLib {
+		return fmt.Sprintf("%s = lib_make_pool(%s);", c, p)
+	}
+	return g.api.create(c, p)
+}
+
+func (g *exeGen) allocStmt(v, p string) string {
+	if g.spec.SharedLib {
+		return fmt.Sprintf("%s = lib_alloc_node(%s);", v, p)
+	}
+	return g.api.alloc(v, p)
+}
+
+func (g *exeGen) destroyStmt(p string) string {
+	if g.spec.SharedLib {
+		return fmt.Sprintf("lib_destroy(%s);", p)
+	}
+	return g.api.destroy(p)
+}
+
+// stage emits one pipeline stage at depth d.
+func (g *exeGen) stage(d, s int, plants []Plant) {
+	api := g.api
+	fmt.Fprintf(g.sb, "void stage_%d_%d(%s *pool) {\n", d, s, api.poolType)
+	fmt.Fprintf(g.sb, "    %s *sub;\n", api.poolType)
+	fmt.Fprintf(g.sb, "    node_t *head;\n    node_t *item;\n")
+	fmt.Fprintf(g.sb, "    %s\n", g.createStmt("sub", "pool"))
+	// A consistent local structure: list nodes in sub pointing to each
+	// other and up into pool-owned data.
+	fmt.Fprintf(g.sb, "    %s\n", g.allocStmt("head", "sub"))
+	fmt.Fprintf(g.sb, "    %s\n", g.allocStmt("item", "sub"))
+	fmt.Fprintf(g.sb, "    head->next = item;\n")
+	fmt.Fprintf(g.sb, "    item->data = head;\n")
+	// Child stages: thread sub down Fanout times.
+	if d+1 < g.spec.Depth {
+		for f := 0; f < g.spec.Fanout; f++ {
+			child := (s*g.spec.Fanout + f) % g.spec.Stages
+			fmt.Fprintf(g.sb, "    stage_%d_%d(sub);\n", d+1, child)
+		}
+	} else if len(plants) > 0 && s < len(plants) {
+		// Leaf stages invoke a planted pattern.
+		fmt.Fprintf(g.sb, "    %s(pool, sub);\n", plants[s].Func)
+	}
+	fmt.Fprintf(g.sb, "    %s\n", g.destroyStmt("sub"))
+	fmt.Fprintf(g.sb, "}\n\n")
+}
+
+// plant emits one bug-pattern function and returns its name. Every
+// pattern function takes (parentPool, subPool) so leaf stages can call
+// it uniformly.
+func (g *exeGen) plant(p Pattern, idx int) string {
+	api := g.api
+	name := fmt.Sprintf("pattern_%s_%d", strings.ReplaceAll(string(p), "-", "_"), idx)
+	pt := api.poolType
+	switch p {
+	case SiblingLeak:
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    %s *left;\n    %s *right;\n", pt, pt)
+		fmt.Fprintf(g.sb, "    node_t *a;\n    node_t *b;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.create("left", "NULL"))
+		fmt.Fprintf(g.sb, "    %s\n", api.create("right", "NULL"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("a", "left"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("b", "right"))
+		fmt.Fprintf(g.sb, "    a->next = b;\n")
+		fmt.Fprintf(g.sb, "    %s\n    %s\n}\n\n", api.destroy("right"), api.destroy("left"))
+	case IteratorEscape:
+		// The Figure 9 shape: the "table" lives in a fresh subpool of
+		// sub, the "iterator" in the longer-lived parent pool.
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    %s *tablepool;\n", pt)
+		fmt.Fprintf(g.sb, "    node_t *table;\n    node_t *iter;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.create("tablepool", "sub"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("table", "tablepool"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("iter", "pool"))
+		fmt.Fprintf(g.sb, "    iter->data = table;\n")
+		fmt.Fprintf(g.sb, "    %s\n}\n\n", api.destroy("tablepool"))
+	case StringShare:
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    %s *strpool;\n", pt)
+		fmt.Fprintf(g.sb, "    node_t *holder;\n    char *s;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.create("strpool", "NULL"))
+		fmt.Fprintf(g.sb, "    %s\n", api.strdupIn("s", "strpool", `"shared"`))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("holder", "sub"))
+		fmt.Fprintf(g.sb, "    holder->name = s;\n")
+		fmt.Fprintf(g.sb, "    %s\n}\n\n", api.destroy("strpool"))
+	case InvertedLifetime:
+		// Figure 12: allocate the "parser" in a fresh subpool, store
+		// it in a holder from the parent pool.
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    %s *parserpool;\n", pt)
+		fmt.Fprintf(g.sb, "    node_t *parser;\n    node_t *loggy;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.create("parserpool", "pool"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("parser", "parserpool"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("loggy", "pool"))
+		fmt.Fprintf(g.sb, "    loggy->data = parser;\n}\n\n")
+	case TemporaryInconsistency:
+		// Figure 10: a parent-pool object briefly holds subpool data,
+		// later overwritten.
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    node_t *lock;\n    node_t *tmp;\n    node_t *stable;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("lock", "pool"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("tmp", "sub"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("stable", "pool"))
+		fmt.Fprintf(g.sb, "    lock->data = tmp;\n")
+		fmt.Fprintf(g.sb, "    lock->data = stable;\n}\n\n")
+	case AliasFalsePositive:
+		// Section 6.2: pool aliases the holder's own pool on one path.
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {\n", name, pt, pt)
+		fmt.Fprintf(g.sb, "    %s *p;\n", pt)
+		fmt.Fprintf(g.sb, "    node_t *child;\n    node_t *err;\n")
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("child", "pool"))
+		fmt.Fprintf(g.sb, "    child->home = pool;\n")
+		fmt.Fprintf(g.sb, "    if (child) p = child->home;\n")
+		fmt.Fprintf(g.sb, "    else { %s }\n", api.create("p", "NULL"))
+		fmt.Fprintf(g.sb, "    %s\n", api.alloc("err", "p"))
+		fmt.Fprintf(g.sb, "    err->next = child;\n}\n\n")
+	default:
+		fmt.Fprintf(g.sb, "void %s(%s *pool, %s *sub) {}\n\n", name, pt, pt)
+	}
+	return name
+}

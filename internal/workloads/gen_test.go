@@ -1,0 +1,187 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/core"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Name: "x", Exes: 2, Stages: 2, Depth: 2, Fanout: 2,
+		FillerFuncs: 5, Interface: "apr", Plants: []Pattern{SiblingLeak}}
+	a := Generate(spec, 42)
+	b := Generate(spec, 42)
+	for i := range a.Exes {
+		if a.Exes[i].Source != b.Exes[i].Source {
+			t.Fatalf("exe %d differs between same-seed runs", i)
+		}
+	}
+	c := Generate(spec, 43)
+	if a.Exes[0].Source == c.Exes[0].Source {
+		t.Fatal("different seeds produced identical source (no randomness)")
+	}
+}
+
+func TestGeneratedSourcesParseAndCheck(t *testing.T) {
+	for _, spec := range SmallCorpus() {
+		pkg := Generate(spec, 7)
+		for _, exe := range pkg.Exes {
+			var files []*cminor.File
+			for path, src := range pkg.SourcesFor(exe) {
+				f, errs := cminor.Parse(path, src)
+				if len(errs) != 0 {
+					t.Fatalf("%s: parse errors: %v\nsource:\n%s", path, errs[0], firstLines(src, 40))
+				}
+				files = append(files, f)
+			}
+			info := cminor.Check(files...)
+			if len(info.Errors) != 0 {
+				t.Fatalf("%s: check errors: %v", exe.Name, info.Errors[0])
+			}
+		}
+	}
+}
+
+func firstLines(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = lines[:n]
+	}
+	return strings.Join(lines, "\n")
+}
+
+func TestCorpusShapeMatchesFigure7(t *testing.T) {
+	corpus := PaperCorpus()
+	if len(corpus) != 6 {
+		t.Fatalf("%d packages, want 6", len(corpus))
+	}
+	exes := map[string]int{"rcc": 1, "apache": 9, "freeswitch": 1,
+		"jxta-c": 1, "lklftpd": 1, "subversion": 9}
+	for _, spec := range corpus {
+		if want, ok := exes[spec.Name]; !ok || spec.Exes != want {
+			t.Fatalf("%s has %d exes, want %d", spec.Name, spec.Exes, want)
+		}
+	}
+	// Size ordering mirrors the paper: lklftpd < rcc < apache <
+	// freeswitch ~ jxta < subversion (by filler volume).
+	byName := map[string]Spec{}
+	for _, s := range corpus {
+		byName[s.Name] = s
+	}
+	if !(byName["lklftpd"].FillerFuncs < byName["rcc"].FillerFuncs &&
+		byName["rcc"].FillerFuncs < byName["freeswitch"].FillerFuncs &&
+		byName["freeswitch"].FillerFuncs < byName["subversion"].FillerFuncs) {
+		t.Fatal("package size ordering does not match Figure 7")
+	}
+}
+
+// analyzeExe runs RegionWiz over one generated executable (plus the
+// package's shared library when present).
+func analyzeExe(t *testing.T, pkg *Package, exe Exe) *core.Analysis {
+	t.Helper()
+	a, err := core.AnalyzeSource(core.Options{}, pkg.SourcesFor(exe))
+	if err != nil {
+		t.Fatalf("%s: analyze: %v", exe.Name, err)
+	}
+	return a
+}
+
+func TestPlantedBugsAreDetected(t *testing.T) {
+	// Every true-bug pattern, planted alone in a tiny package, must be
+	// reported; the high-ranked ones must rank high.
+	patterns := []Pattern{SiblingLeak, IteratorEscape, StringShare,
+		InvertedLifetime, TemporaryInconsistency, AliasFalsePositive}
+	for _, iface := range []string{"apr", "rc"} {
+		for _, pat := range patterns {
+			spec := Spec{Name: "t", Exes: 1, Stages: 1, Depth: 1, Fanout: 1,
+				FillerFuncs: 0, Interface: iface, Plants: []Pattern{pat}}
+			pkg := Generate(spec, 3)
+			a := analyzeExe(t, pkg, pkg.Exes[0])
+			ws := a.Report.Warnings
+			if len(ws) == 0 {
+				t.Errorf("[%s] %s: no warning reported", iface, pat)
+				continue
+			}
+			if pat.HighRanked() && a.Report.Stats.High == 0 {
+				t.Errorf("[%s] %s: expected a high-ranked warning, got %s", iface, pat, a.Report)
+			}
+		}
+	}
+}
+
+func TestCleanPackageIsClean(t *testing.T) {
+	spec := Spec{Name: "clean", Exes: 1, Stages: 3, Depth: 3, Fanout: 2,
+		FillerFuncs: 10, Interface: "apr", Plants: nil}
+	pkg := Generate(spec, 11)
+	a := analyzeExe(t, pkg, pkg.Exes[0])
+	if n := len(a.Report.Warnings); n != 0 {
+		t.Fatalf("clean staged package produced %d warnings:\n%s", n, a.Report)
+	}
+	if a.Report.Stats.R == 0 || a.Report.Stats.H == 0 {
+		t.Fatal("clean package produced no regions/objects at all")
+	}
+}
+
+func TestSharedLibraryPackage(t *testing.T) {
+	spec := Spec{Name: "libbed", Exes: 2, Stages: 2, Depth: 2, Fanout: 2,
+		FillerFuncs: 3, Interface: "apr", SharedLib: true,
+		Plants: []Pattern{SiblingLeak, InvertedLifetime}}
+	pkg := Generate(spec, 21)
+	if pkg.Lib == "" {
+		t.Fatal("no shared library emitted")
+	}
+	foundBug := 0
+	for _, exe := range pkg.Exes {
+		a := analyzeExe(t, pkg, exe)
+		// Regions must exist even though creation goes through the
+		// cross-file wrapper (heap cloning distinguishes the wrapper's
+		// call paths).
+		if a.Report.Stats.R < 2 {
+			t.Fatalf("%s: R=%d, wrapper-created regions lost", exe.Name, a.Report.Stats.R)
+		}
+		foundBug += len(a.Report.Warnings)
+	}
+	if foundBug < 2 {
+		t.Fatalf("planted bugs found: %d, want >= 2", foundBug)
+	}
+	// A clean shared-lib package stays clean: the wrapper must not
+	// introduce false region merging.
+	clean := Generate(Spec{Name: "cleanlib", Exes: 1, Stages: 2, Depth: 3,
+		Fanout: 2, Interface: "apr", SharedLib: true}, 22)
+	a := analyzeExe(t, clean, clean.Exes[0])
+	if n := len(a.Report.Warnings); n != 0 {
+		t.Fatalf("clean shared-lib package has %d warnings:\n%s", n, a.Report)
+	}
+}
+
+func TestFigure8ShapeOnSmallCorpus(t *testing.T) {
+	// The qualitative Figure 8 shape: jxta-c clean; apache's only
+	// warning is a false positive; lklftpd has 2 high-ranked;
+	// subversion has the most warnings of all packages.
+	totals := map[string]int{}
+	highs := map[string]int{}
+	for _, spec := range SmallCorpus() {
+		pkg := Generate(spec, 1234)
+		for _, exe := range pkg.Exes {
+			a := analyzeExe(t, pkg, exe)
+			totals[spec.Name] += len(a.Report.Warnings)
+			highs[spec.Name] += a.Report.Stats.High
+		}
+	}
+	if totals["jxta-c"] != 0 {
+		t.Errorf("jxta-c should be clean, got %d warnings", totals["jxta-c"])
+	}
+	if highs["lklftpd"] != 2 {
+		t.Errorf("lklftpd high-ranked = %d, want 2", highs["lklftpd"])
+	}
+	if totals["subversion"] <= totals["apache"] ||
+		totals["subversion"] <= totals["rcc"] {
+		t.Errorf("subversion (%d) should dominate apache (%d) and rcc (%d)",
+			totals["subversion"], totals["apache"], totals["rcc"])
+	}
+	if highs["rcc"] < 1 {
+		t.Errorf("rcc high-ranked = %d, want >= 1 (the string case)", highs["rcc"])
+	}
+}

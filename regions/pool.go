@@ -1,0 +1,190 @@
+// Package regions is a region-based memory management runtime in the
+// style of APR pools (the interface of the paper's Figure 6): a
+// hierarchy of pools with arena allocation, recursive clearing and
+// destruction, and cleanup callbacks. It is the runnable substrate for
+// the examples and the dynamic-safety baseline (RC-style deferred
+// destruction) that the paper's Section 1/7 contrasts with static
+// verification.
+//
+// Pools are not safe for concurrent use, matching APR; confine each
+// pool to one goroutine or synchronize externally (the paper's Section
+// 6.4 discusses exactly this design pressure).
+package regions
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDestroyed is returned or panicked when a destroyed pool is used.
+var ErrDestroyed = errors.New("regions: pool already destroyed")
+
+// Cleanup is a callback run when its pool is cleared or destroyed —
+// the apr_pool_cleanup_register mechanism used to tie non-memory
+// resources (file descriptors, parser instances) to region lifetimes.
+type Cleanup func()
+
+const defaultChunk = 8192
+
+// Pool is one region. The zero value is not usable; create roots with
+// NewRoot and children with NewChild.
+type Pool struct {
+	parent   *Pool
+	children []*Pool
+	chunks   [][]byte
+	cur      []byte
+	cleanups []Cleanup
+	dead     bool
+
+	allocated int64
+	label     string
+	userdata  map[string]interface{}
+}
+
+// NewRoot creates a top-level pool.
+func NewRoot() *Pool { return &Pool{label: "root"} }
+
+// NewChild creates a subregion of p: it will be destroyed no later
+// than p (the subregion relation of the paper's Section 2).
+func (p *Pool) NewChild() *Pool {
+	p.mustLive()
+	c := &Pool{parent: p, label: fmt.Sprintf("%s/%d", p.label, len(p.children))}
+	p.children = append(p.children, c)
+	return c
+}
+
+// Parent returns the pool's parent (nil for roots).
+func (p *Pool) Parent() *Pool { return p.parent }
+
+// Label returns a diagnostic path-like name.
+func (p *Pool) Label() string { return p.label }
+
+// IsAncestorOf reports whether p is an ancestor of (or the same pool
+// as) other — the partial order other ⊑ p.
+func (p *Pool) IsAncestorOf(other *Pool) bool {
+	for x := other; x != nil; x = x.parent {
+		if x == p {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pool) mustLive() {
+	if p.dead {
+		panic(ErrDestroyed)
+	}
+}
+
+// Alloc returns an n-byte zeroed slice from the pool's arena
+// (apr_pcalloc). The memory is reclaimed wholesale on Clear/Destroy —
+// do not retain slices past the pool's lifetime.
+func (p *Pool) Alloc(n int) []byte {
+	p.mustLive()
+	if n < 0 {
+		panic("regions: negative allocation")
+	}
+	// Round to 8 bytes, like apr_palloc's alignment.
+	rounded := (n + 7) &^ 7
+	if len(p.cur) < rounded {
+		size := defaultChunk
+		if rounded > size {
+			size = rounded
+		}
+		chunk := make([]byte, size)
+		p.chunks = append(p.chunks, chunk)
+		p.cur = chunk
+	}
+	out := p.cur[:n:n]
+	p.cur = p.cur[rounded:]
+	p.allocated += int64(rounded)
+	return out
+}
+
+// Strdup copies s into the pool's arena (apr_pstrdup).
+func (p *Pool) Strdup(s string) []byte {
+	b := p.Alloc(len(s))
+	copy(b, s)
+	return b
+}
+
+// CleanupRegister arranges for fn to run when the pool is cleared or
+// destroyed. Cleanups run in reverse registration order, children
+// first — exactly APR's teardown order.
+func (p *Pool) CleanupRegister(fn Cleanup) {
+	p.mustLive()
+	p.cleanups = append(p.cleanups, fn)
+}
+
+// Clear reclaims everything allocated in the pool and destroys its
+// children, but keeps the pool itself usable (apr_pool_clear).
+func (p *Pool) Clear() {
+	p.mustLive()
+	for i := len(p.children) - 1; i >= 0; i-- {
+		p.children[i].Destroy()
+	}
+	p.children = nil
+	for i := len(p.cleanups) - 1; i >= 0; i-- {
+		p.cleanups[i]()
+	}
+	p.cleanups = nil
+	p.chunks = nil
+	p.cur = nil
+	p.allocated = 0
+	p.userdata = nil
+}
+
+// Destroy clears the pool, detaches it from its parent, and marks it
+// dead; any further use panics with ErrDestroyed (apr_pool_destroy).
+func (p *Pool) Destroy() {
+	if p.dead {
+		return
+	}
+	p.Clear()
+	p.dead = true
+	if p.parent != nil && !p.parent.dead {
+		kids := p.parent.children
+		for i, c := range kids {
+			if c == p {
+				p.parent.children = append(kids[:i:i], kids[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// Destroyed reports whether the pool has been destroyed.
+func (p *Pool) Destroyed() bool { return p.dead }
+
+// Allocated returns the bytes currently held by the pool's arena
+// (excluding children).
+func (p *Pool) Allocated() int64 { return p.allocated }
+
+// NumChildren returns the number of live child pools.
+func (p *Pool) NumChildren() int { return len(p.children) }
+
+// SetUserdata attaches a keyed value to the pool, mirroring
+// apr_pool_userdata_set: the association lives exactly as long as the
+// pool (cleared on Clear/Destroy).
+func (p *Pool) SetUserdata(key string, value interface{}) {
+	p.mustLive()
+	if p.userdata == nil {
+		p.userdata = make(map[string]interface{})
+	}
+	p.userdata[key] = value
+}
+
+// Userdata retrieves a value stored with SetUserdata.
+func (p *Pool) Userdata(key string) (interface{}, bool) {
+	p.mustLive()
+	v, ok := p.userdata[key]
+	return v, ok
+}
+
+// Walk visits the pool and its descendants depth-first.
+func (p *Pool) Walk(fn func(*Pool)) {
+	fn(p)
+	for _, c := range p.children {
+		c.Walk(fn)
+	}
+}

@@ -1,0 +1,278 @@
+package regions
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocBasics(t *testing.T) {
+	p := NewRoot()
+	b := p.Alloc(10)
+	if len(b) != 10 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for _, x := range b {
+		if x != 0 {
+			t.Fatal("allocation not zeroed")
+		}
+	}
+	b2 := p.Alloc(1)
+	b[0] = 0xAA
+	if b2[0] != 0 {
+		t.Fatal("allocations overlap")
+	}
+	if p.Allocated() < 11 {
+		t.Fatalf("accounting: %d", p.Allocated())
+	}
+}
+
+func TestAllocLarge(t *testing.T) {
+	p := NewRoot()
+	b := p.Alloc(100000)
+	if len(b) != 100000 {
+		t.Fatal("large allocation failed")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	p := NewRoot()
+	for i := 1; i < 30; i++ {
+		_ = p.Alloc(i)
+	}
+	if p.Allocated()%8 != 0 {
+		t.Fatalf("unaligned accounting %d", p.Allocated())
+	}
+}
+
+func TestHierarchyDestroyRecursive(t *testing.T) {
+	root := NewRoot()
+	conn := root.NewChild()
+	req1 := conn.NewChild()
+	req2 := conn.NewChild()
+	if !root.IsAncestorOf(req1) || !conn.IsAncestorOf(req2) {
+		t.Fatal("ancestor order wrong")
+	}
+	if req1.IsAncestorOf(conn) {
+		t.Fatal("inverted ancestry")
+	}
+	conn.Destroy()
+	if !req1.Destroyed() || !req2.Destroyed() || !conn.Destroyed() {
+		t.Fatal("recursive destroy missed a descendant")
+	}
+	if root.Destroyed() {
+		t.Fatal("parent destroyed with child")
+	}
+	if root.NumChildren() != 0 {
+		t.Fatal("destroyed child not detached")
+	}
+}
+
+func TestCleanupOrder(t *testing.T) {
+	var order []string
+	root := NewRoot()
+	child := root.NewChild()
+	root.CleanupRegister(func() { order = append(order, "root1") })
+	root.CleanupRegister(func() { order = append(order, "root2") })
+	child.CleanupRegister(func() { order = append(order, "child") })
+	root.Destroy()
+	// Children torn down first; within a pool, reverse registration.
+	want := []string{"child", "root2", "root1"}
+	if len(order) != 3 {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestClearKeepsPoolUsable(t *testing.T) {
+	p := NewRoot()
+	c := p.NewChild()
+	p.Alloc(100)
+	ran := false
+	p.CleanupRegister(func() { ran = true })
+	p.Clear()
+	if !ran {
+		t.Fatal("cleanup not run on clear")
+	}
+	if !c.Destroyed() {
+		t.Fatal("clear must destroy children")
+	}
+	if p.Destroyed() {
+		t.Fatal("clear must not destroy the pool")
+	}
+	if p.Allocated() != 0 {
+		t.Fatal("clear did not reset accounting")
+	}
+	_ = p.Alloc(8) // still usable
+}
+
+func TestUseAfterDestroyPanics(t *testing.T) {
+	p := NewRoot()
+	p.Destroy()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Alloc on destroyed pool did not panic")
+		}
+	}()
+	p.Alloc(1)
+}
+
+func TestDoubleDestroyIsIdempotent(t *testing.T) {
+	p := NewRoot()
+	c := p.NewChild()
+	c.Destroy()
+	c.Destroy() // must not panic
+	p.Destroy()
+}
+
+func TestStrdup(t *testing.T) {
+	p := NewRoot()
+	b := p.Strdup("hello")
+	if string(b) != "hello" {
+		t.Fatalf("strdup = %q", b)
+	}
+}
+
+func TestRefDanglingDetection(t *testing.T) {
+	type payload struct{ n int }
+	root := NewRoot()
+	sub := root.NewChild()
+	r := NewIn[payload](sub)
+	r.Get().n = 42
+	if !r.Valid() {
+		t.Fatal("live ref invalid")
+	}
+	sub.Destroy()
+	if r.Valid() {
+		t.Fatal("dangling ref still valid")
+	}
+	if _, err := r.TryGet(); err == nil {
+		t.Fatal("TryGet on dangling ref succeeded")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Get on dangling ref did not panic")
+		}
+	}()
+	r.Get()
+}
+
+func TestCheckAssignMirrorsFigure2(t *testing.T) {
+	root := NewRoot()
+	r1 := root.NewChild()
+	r2 := r1.NewChild()
+	sibling := root.NewChild()
+	// (a) same region: safe.
+	if err := CheckAssign(r1, r1); err != nil {
+		t.Fatalf("same region: %v", err)
+	}
+	// (b) holder in subregion: safe.
+	if err := CheckAssign(r2, r1); err != nil {
+		t.Fatalf("holder in subregion: %v", err)
+	}
+	// (c) unrelated: hazard.
+	if err := CheckAssign(sibling, r2); err == nil {
+		t.Fatal("unrelated regions not flagged")
+	}
+	// (d) pointee in subregion: hazard.
+	if err := CheckAssign(r1, r2); err == nil {
+		t.Fatal("inverted lifetime not flagged")
+	}
+}
+
+func TestRCDeferredDestroy(t *testing.T) {
+	rc := NewRCRoot()
+	sub := rc.NewChild()
+	sub.AddRef()
+	if sub.Destroy() {
+		t.Fatal("referenced region destroyed immediately")
+	}
+	if sub.Destroyed() || !sub.DeferredPending() {
+		t.Fatal("deferred state wrong")
+	}
+	if sub.DeferredDeletes != 1 {
+		t.Fatalf("DeferredDeletes = %d", sub.DeferredDeletes)
+	}
+	sub.DelRef()
+	if !sub.Destroyed() {
+		t.Fatal("region not reclaimed when last ref dropped")
+	}
+}
+
+func TestRCImmediateDestroyWhenUnreferenced(t *testing.T) {
+	rc := NewRCRoot()
+	sub := rc.NewChild()
+	if !sub.Destroy() {
+		t.Fatal("unreferenced region not destroyed immediately")
+	}
+}
+
+func TestPropertyAllocationsDisjoint(t *testing.T) {
+	// Arbitrary allocation sequences yield non-overlapping, zeroed
+	// slices.
+	f := func(sizes []uint8) bool {
+		p := NewRoot()
+		var slices [][]byte
+		for _, s := range sizes {
+			b := p.Alloc(int(s))
+			for i := range b {
+				if b[i] != 0 {
+					return false
+				}
+				b[i] = 0xFF
+			}
+			slices = append(slices, b)
+		}
+		// Re-check earlier slices were not clobbered by later fills:
+		// every byte must still be 0xFF.
+		for _, b := range slices {
+			for _, x := range b {
+				if x != 0xFF {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWalk(t *testing.T) {
+	root := NewRoot()
+	a := root.NewChild()
+	a.NewChild()
+	root.NewChild()
+	count := 0
+	root.Walk(func(*Pool) { count++ })
+	if count != 4 {
+		t.Fatalf("walk visited %d pools, want 4", count)
+	}
+}
+
+func TestUserdataLifetime(t *testing.T) {
+	p := NewRoot()
+	p.SetUserdata("config", 42)
+	if v, ok := p.Userdata("config"); !ok || v.(int) != 42 {
+		t.Fatalf("userdata = %v, %v", v, ok)
+	}
+	if _, ok := p.Userdata("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	p.Clear()
+	if _, ok := p.Userdata("config"); ok {
+		t.Fatal("userdata survived Clear")
+	}
+	p.SetUserdata("again", "x")
+	p.Destroy()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Userdata on destroyed pool did not panic")
+		}
+	}()
+	p.Userdata("again")
+}

@@ -1,0 +1,67 @@
+package regions
+
+// RCPool wraps a Pool with RC-style reference counting (Gay & Aiken's
+// RC, the paper's Section 7): deleting a region that is still
+// referenced by inter-region pointers from outside defers the actual
+// deletion until the count drops to zero. This is the dynamic
+// technique the paper contrasts with RegionWiz — it avoids the crash
+// but "does not fix bugs generally; objects still reside
+// inconsistently in regions, and resources in the regions cannot be
+// reclaimed".
+type RCPool struct {
+	pool     *Pool
+	refs     int64
+	deferred bool
+	// DeferredDeletes counts how many times destruction had to be
+	// postponed — the runtime cost signal benchmarks report.
+	DeferredDeletes int64
+}
+
+// NewRCRoot creates a reference-counted root region.
+func NewRCRoot() *RCPool { return &RCPool{pool: NewRoot()} }
+
+// NewChild creates a reference-counted subregion.
+func (r *RCPool) NewChild() *RCPool { return &RCPool{pool: r.pool.NewChild()} }
+
+// Pool exposes the underlying arena.
+func (r *RCPool) Pool() *Pool { return r.pool }
+
+// AddRef records an inter-region pointer into r from outside (RC's
+// write-barrier increment).
+func (r *RCPool) AddRef() { r.refs++ }
+
+// DelRef releases one inter-region pointer. If a deletion was
+// deferred and this was the last reference, the region is reclaimed
+// now.
+func (r *RCPool) DelRef() {
+	if r.refs > 0 {
+		r.refs--
+	}
+	if r.refs == 0 && r.deferred {
+		r.deferred = false
+		r.pool.Destroy()
+	}
+}
+
+// Refs returns the current external reference count.
+func (r *RCPool) Refs() int64 { return r.refs }
+
+// Destroy deletes the region unless external references remain, in
+// which case the deletion is deferred (and DeferredDeletes
+// incremented). It reports whether the region was actually destroyed.
+func (r *RCPool) Destroy() bool {
+	if r.refs > 0 {
+		r.deferred = true
+		r.DeferredDeletes++
+		return false
+	}
+	r.pool.Destroy()
+	return true
+}
+
+// Destroyed reports whether the underlying pool is gone.
+func (r *RCPool) Destroyed() bool { return r.pool.Destroyed() }
+
+// DeferredPending reports whether a destruction is waiting on
+// references.
+func (r *RCPool) DeferredPending() bool { return r.deferred }

@@ -1,0 +1,63 @@
+package regions
+
+import "fmt"
+
+// Ref is a typed handle to a value whose lifetime is tied to a pool.
+// Unlike raw pointers in C regions, a Ref checks at access time that
+// its pool is still alive, turning the dangling pointers RegionWiz
+// hunts statically into immediate, diagnosable failures at runtime —
+// the dynamic-safety point in the design space (the paper's C@/RC
+// comparison, Section 7).
+type Ref[T any] struct {
+	pool *Pool
+	v    *T
+}
+
+// NewIn allocates a zero T whose lifetime follows the pool.
+func NewIn[T any](p *Pool) Ref[T] {
+	p.mustLive()
+	return Ref[T]{pool: p, v: new(T)}
+}
+
+// Pool returns the owning pool.
+func (r Ref[T]) Pool() *Pool { return r.pool }
+
+// Valid reports whether the referent is still alive.
+func (r Ref[T]) Valid() bool { return r.v != nil && r.pool != nil && !r.pool.dead }
+
+// Get returns the referent, panicking with a descriptive error if the
+// owning pool has been destroyed (a caught dangling pointer).
+func (r Ref[T]) Get() *T {
+	if r.v == nil || r.pool == nil {
+		panic(fmt.Errorf("regions: nil ref"))
+	}
+	if r.pool.dead {
+		panic(fmt.Errorf("regions: dangling ref into destroyed pool %s", r.pool.label))
+	}
+	return r.v
+}
+
+// TryGet is Get without the panic.
+func (r Ref[T]) TryGet() (*T, error) {
+	if r.v == nil || r.pool == nil {
+		return nil, fmt.Errorf("regions: nil ref")
+	}
+	if r.pool.dead {
+		return nil, fmt.Errorf("regions: dangling ref into destroyed pool %s: %w", r.pool.label, ErrDestroyed)
+	}
+	return r.v, nil
+}
+
+// CheckAssign validates the paper's Proposition 2.1 for one
+// assignment: a holder in pool `from` may safely keep a reference into
+// pool `to` only when to is an ancestor of (or equal to) from, i.e.
+// from ⊑ to. It returns an error describing the lifetime hazard
+// otherwise. This is the runtime analogue of the static non-access
+// check; examples use it to demonstrate the consistency rules.
+func CheckAssign(from, to *Pool) error {
+	if to.IsAncestorOf(from) {
+		return nil
+	}
+	return fmt.Errorf("regions: object in %s must not hold a pointer into %s (no subregion order %s ⊑ %s)",
+		from.label, to.label, from.label, to.label)
+}

@@ -1,0 +1,119 @@
+// Package regionwiz finds region lifetime inconsistencies in C
+// programs that use region-based memory management, reproducing
+// "Conditional Correlation Analysis for Safe Region-based Memory
+// Management" (Wang et al., PLDI 2008).
+//
+// A program using regions must place objects so that a region holding
+// pointers into another region is always deleted first. RegionWiz
+// verifies this statically: it runs a context-sensitive,
+// field-sensitive pointer analysis with heap cloning, extracts the
+// subregion, ownership, and access relations, and checks the
+// conditional correlation ⟨p⁺, φ⁼, σ̄*⟩ — for every pair of regions
+// with no subregion partial order, no object in the first may access
+// an object in the second.
+//
+// Quick start:
+//
+//	report, err := regionwiz.AnalyzeSource(regionwiz.Options{}, map[string]string{
+//	    "server.c": src,
+//	})
+//	if err != nil { ... }
+//	fmt.Print(report)
+//
+// The analyzer accepts both region interfaces from the paper — RC
+// regions (rnew/ralloc) and APR pools (apr_pool_create/apr_palloc) —
+// and both can be mixed. See the examples directory for runnable
+// scenarios and package repro/regions for a runnable region runtime.
+package regionwiz
+
+import (
+	"os"
+	"path/filepath"
+
+	"repro/internal/callgraph"
+	"repro/internal/core"
+)
+
+// Options configures an analysis; the zero value is ready to use
+// (entry "main", both region APIs, context cap 4096, heap cloning on,
+// explicit backend).
+type Options = core.Options
+
+// Backend selects the relation engine for the inconsistency
+// computation.
+type Backend = core.Backend
+
+// Backend values.
+const (
+	// ExplicitBackend solves the pair computation with hash-set
+	// relations.
+	ExplicitBackend = core.ExplicitBackend
+	// BDDBackend stores relations in binary decision diagrams and
+	// solves the paper's Datalog rules, as the original prototype did
+	// with bddbddb/BuDDy.
+	BDDBackend = core.BDDBackend
+)
+
+// RegionAPI describes one region-based memory management interface.
+type RegionAPI = core.RegionAPI
+
+// APRPools returns the Apache Portable Runtime pools interface
+// (the paper's Figure 6).
+func APRPools() *RegionAPI { return core.APRPools() }
+
+// RCRegions returns the RC-regions interface (rnew/ralloc).
+func RCRegions() *RegionAPI { return core.RCRegions() }
+
+// MergeAPIs combines several interfaces.
+func MergeAPIs(apis ...*RegionAPI) *RegionAPI { return core.MergeAPIs(apis...) }
+
+// ImplicitSpec registers a runtime function whose argument is invoked
+// implicitly (thread entry points, cleanup callbacks).
+type ImplicitSpec = callgraph.ImplicitSpec
+
+// Report is the analysis outcome: ranked warnings plus the
+// quantitative stats of the paper's Figure 11.
+type Report = core.Report
+
+// Warning is one reported potential dangling pointer.
+type Warning = core.Warning
+
+// Stats carries the quantitative columns (analysis time, region and
+// object counts, relation sizes, pair counts).
+type Stats = core.Stats
+
+// Analysis exposes the full pipeline state for programmatic consumers
+// (region tree, ownership, access edges, the conditional correlation).
+type Analysis = core.Analysis
+
+// Bool is a helper for Options.HeapCloning.
+func Bool(b bool) *bool { return core.Bool(b) }
+
+// AnalyzeSource analyzes CMinor/C-subset sources given as
+// path -> content pairs and returns the full analysis state.
+func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
+	return core.AnalyzeSource(opts, sources)
+}
+
+// Analyze is AnalyzeSource returning just the report.
+func Analyze(opts Options, sources map[string]string) (*Report, error) {
+	a, err := core.AnalyzeSource(opts, sources)
+	if err != nil {
+		return nil, err
+	}
+	return a.Report, nil
+}
+
+// AnalyzeFiles reads the given files from disk and analyzes them as
+// one program.
+func AnalyzeFiles(opts Options, paths ...string) (*Analysis, error) {
+	sources := make(map[string]string, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		sources[filepath.Clean(p)] = string(b)
+	}
+	return core.AnalyzeSource(opts, sources)
+}
