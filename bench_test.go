@@ -9,7 +9,9 @@
 package regionwiz
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/bdd"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/datalog"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/pointer"
 	"repro/internal/workloads"
 	"repro/regions"
@@ -619,3 +622,59 @@ int main(void) {
     return 0;
 }
 `
+
+// --- Pipeline: per-phase cost and the parallel corpus driver ---
+
+// BenchmarkPhaseBreakdown analyzes one mid-size executable and
+// reports each pipeline phase's wall time as a custom metric — the
+// per-phase view of the Figure 11 "time" column that the monolithic
+// analyzer could not produce.
+func BenchmarkPhaseBreakdown(b *testing.B) {
+	src := ablationSource(b)
+	phaseNS := map[string]int64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mustAnalyze(b, core.Options{}, src)
+		for _, ps := range a.Report.Stats.Phases {
+			phaseNS[ps.Name] += int64(ps.Time)
+		}
+	}
+	b.StopTimer()
+	for _, name := range core.PhaseNames() {
+		if ns, ok := phaseNS[name]; ok {
+			b.ReportMetric(float64(ns)/float64(b.N)/1e6, name+"-ms")
+		}
+	}
+}
+
+// BenchmarkCorpusDriver runs the whole small corpus through
+// pipeline.RunCorpus serially and with GOMAXPROCS workers; comparing
+// the two sub-benchmarks measures the parallel driver's speedup on
+// independent packages.
+func BenchmarkCorpusDriver(b *testing.B) {
+	var sets []map[string]string
+	for _, spec := range workloads.SmallCorpus() {
+		pkg := workloads.Generate(spec, 2008)
+		for _, exe := range pkg.Exes {
+			sets = append(sets, pkg.SourcesFor(exe))
+		}
+	}
+	run := func(b *testing.B, jobs int) {
+		for i := 0; i < b.N; i++ {
+			results := pipeline.RunCorpus(context.Background(), sets, jobs,
+				func(ctx context.Context, s map[string]string) (*core.Analysis, error) {
+					return core.AnalyzeSourceContext(ctx, core.Options{}, s)
+				})
+			for _, res := range results {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+		}
+		b.ReportMetric(float64(len(sets)), "exes")
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run(fmt.Sprintf("jobs=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		run(b, runtime.GOMAXPROCS(0))
+	})
+}

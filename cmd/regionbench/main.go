@@ -6,9 +6,17 @@
 // Usage:
 //
 //	regionbench -table 7|8|11|all [-seed N] [-scale small|paper]
+//	regionbench -json out.json [-jobs N]
+//
+// The -json mode analyzes every executable of the corpus through a
+// bounded worker pool and writes per-phase, per-workload timings as a
+// stable JSON document (schema regionbench/phase-timings/v1) suitable
+// for trajectory tracking across commits.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -16,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
 
@@ -23,6 +32,8 @@ func main() {
 	table := flag.String("table", "all", "which table to print: 7, 8, 11, or all")
 	seed := flag.Int64("seed", 2008, "corpus generation seed")
 	scale := flag.String("scale", "paper", "corpus scale: small or paper")
+	jsonPath := flag.String("json", "", "write per-phase, per-workload timings as JSON to this file")
+	jobs := flag.Int("jobs", 0, "number of executables analyzed concurrently in -json mode (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	var specs []workloads.Spec
@@ -41,6 +52,14 @@ func main() {
 		pkgs[i] = workloads.Generate(spec, *seed)
 	}
 
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, pkgs, *seed, *scale, *jobs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *table == "7" || *table == "all" {
 		printFigure7(pkgs)
 	}
@@ -50,6 +69,98 @@ func main() {
 	if *table == "11" || *table == "all" {
 		printFigure11(pkgs)
 	}
+}
+
+// --- -json mode: the BENCH_*.json trajectory schema ---
+
+type benchDoc struct {
+	Schema    string          `json:"schema"`
+	Seed      int64           `json:"seed"`
+	Scale     string          `json:"scale"`
+	Jobs      int             `json:"jobs"`
+	Workloads []workloadTimes `json:"workloads"`
+}
+
+type workloadTimes struct {
+	Package string       `json:"package"`
+	Exe     string       `json:"exe"`
+	TimeMS  float64      `json:"time_ms"`
+	Error   string       `json:"error,omitempty"`
+	Phases  []phaseTimes `json:"phases,omitempty"`
+	Stats   *headline    `json:"stats,omitempty"`
+}
+
+type phaseTimes struct {
+	Name       string           `json:"name"`
+	TimeMS     float64          `json:"time_ms"`
+	AllocBytes int64            `json:"alloc_bytes"`
+	Outputs    map[string]int64 `json:"outputs,omitempty"`
+}
+
+type headline struct {
+	Regions  int    `json:"regions"`
+	Objects  int    `json:"objects"`
+	Heap     int    `json:"heap_edges"`
+	RPairs   int64  `json:"region_pairs"`
+	IPairs   int    `json:"instruction_pairs"`
+	High     int    `json:"high_ranked"`
+	Contexts uint64 `json:"contexts"`
+}
+
+// writeJSON analyzes every (package, exe) pair over the parallel
+// corpus driver and writes the per-phase timing document.
+func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string, jobs int) error {
+	type job struct {
+		pkg *workloads.Package
+		exe workloads.Exe
+	}
+	var jobsIn []job
+	for _, p := range pkgs {
+		for _, exe := range p.Exes {
+			jobsIn = append(jobsIn, job{p, exe})
+		}
+	}
+	results := pipeline.RunCorpus(context.Background(), jobsIn, jobs,
+		func(ctx context.Context, j job) (*core.Analysis, error) {
+			return core.AnalyzeSourceContext(ctx, core.Options{}, j.pkg.SourcesFor(j.exe))
+		})
+	doc := benchDoc{
+		Schema: "regionbench/phase-timings/v1",
+		Seed:   seed,
+		Scale:  scale,
+		Jobs:   jobs,
+	}
+	for i, res := range results {
+		wt := workloadTimes{
+			Package: jobsIn[i].pkg.Spec.Name,
+			Exe:     jobsIn[i].exe.Name,
+			TimeMS:  float64(res.Wall) / float64(time.Millisecond),
+		}
+		if res.Err != nil {
+			wt.Error = res.Err.Error()
+		} else {
+			s := res.Out.Report.Stats
+			wt.Stats = &headline{
+				Regions: s.R, Objects: s.H, Heap: s.Heap,
+				RPairs: s.RPairs, IPairs: s.IPairs, High: s.High,
+				Contexts: s.Contexts,
+			}
+			for _, p := range s.Phases {
+				wt.Phases = append(wt.Phases, phaseTimes{
+					Name:       p.Name,
+					TimeMS:     float64(p.Time) / float64(time.Millisecond),
+					AllocBytes: p.AllocBytes,
+					Outputs:    p.Outputs,
+				})
+			}
+		}
+		doc.Workloads = append(doc.Workloads, wt)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func analyze(pkg *workloads.Package, exe workloads.Exe) (*core.Analysis, error) {

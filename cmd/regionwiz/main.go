@@ -3,7 +3,12 @@
 //
 // Usage:
 //
-//	regionwiz [flags] file.c...
+//	regionwiz [flags] file.c... [dir...]
+//
+// Each directory argument is an independent file set (every .c file
+// inside, non-recursive); loose file arguments together form one more
+// set. Multiple sets are analyzed concurrently by a bounded worker
+// pool and reported in argument order.
 //
 // Flags:
 //
@@ -18,19 +23,33 @@
 //	-entries a,b,c     open-program analysis with the given roots
 //	-kcfa K            k-CFA call-string contexts instead of call paths
 //	-refine            enable the def-use (Figure 5(b)) refinement
+//	-jobs N            analyze N file sets concurrently (default GOMAXPROCS)
+//	-timeout D         abort the whole run after D (e.g. 30s, 5m)
+//	-phase-stats       print the per-phase pipeline cost table
+//	-cpuprofile f      write a CPU profile to f
+//	-memprofile f      write a heap profile to f
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strings"
+	"time"
 
 	regionwiz "repro"
+	"repro/internal/pipeline"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+func run() int {
 	entry := flag.String("entry", "main", "program entry function")
 	api := flag.String("api", "both", "region interface: apr, rc, or both")
 	contextCap := flag.Uint64("context-cap", 4096, "per-function context cap")
@@ -42,12 +61,17 @@ func main() {
 	entries := flag.String("entries", "", "comma-separated analysis roots for open-program (library) analysis")
 	kcfa := flag.Int("kcfa", 0, "use k-CFA call-string contexts of this depth instead of call-path cloning")
 	refine := flag.Bool("refine", false, "enable the def-use (Figure 5(b)) refinement")
+	jobs := flag.Int("jobs", 0, "number of file sets analyzed concurrently (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
+	phaseStats := flag.Bool("phase-stats", false, "print the per-phase pipeline cost table")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "regionwiz: no input files")
 		flag.Usage()
-		os.Exit(2)
+		return 2
 	}
 
 	opts := regionwiz.Options{
@@ -69,7 +93,7 @@ func main() {
 		opts.API = regionwiz.MergeAPIs(regionwiz.APRPools(), regionwiz.RCRegions())
 	default:
 		fmt.Fprintf(os.Stderr, "regionwiz: unknown -api %q\n", *api)
-		os.Exit(2)
+		return 2
 	}
 	switch *backend {
 	case "explicit":
@@ -78,37 +102,169 @@ func main() {
 		opts.Backend = regionwiz.BDDBackend
 	default:
 		fmt.Fprintf(os.Stderr, "regionwiz: unknown -backend %q\n", *backend)
-		os.Exit(2)
+		return 2
 	}
 
-	a, err := regionwiz.AnalyzeFiles(opts, flag.Args()...)
+	sets, err := fileSets(flag.Args())
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "regionwiz: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
-	report := a.Report
-	switch {
-	case *jsonOut:
-		data, err := json.MarshalIndent(report, "", "  ")
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "regionwiz: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(os.Stderr, "regionwiz: -cpuprofile: %v\n", err)
+			return 1
 		}
-		fmt.Println(string(data))
-	case *statsOnly:
-		s := report.Stats
-		fmt.Printf("time=%v R=%d H=%d sub=%d own=%d heap=%d R-pair=%d O-pair=%d I-pair=%d high=%d contexts=%d\n",
-			s.Time, s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs, s.High, s.Contexts)
-	case *highOnly:
-		hw := report.HighWarnings()
-		fmt.Printf("regionwiz: %d high-ranked warning(s)\n", len(hw))
-		for i, w := range hw {
-			fmt.Printf("%3d [HIGH] %s\n", i+1, w.Message)
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: -cpuprofile: %v\n", err)
+			return 1
 		}
-	default:
-		fmt.Print(report)
+		defer pprof.StopCPUProfile()
 	}
-	if len(report.Warnings) > 0 {
-		os.Exit(3)
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	results := pipeline.RunCorpus(ctx, sets, *jobs,
+		func(ctx context.Context, set fileSet) (*regionwiz.Analysis, error) {
+			return regionwiz.AnalyzeFilesContext(ctx, opts, set.files...)
+		})
+
+	code := 0
+	for i, res := range results {
+		if len(sets) > 1 {
+			fmt.Printf("== %s ==\n", sets[i].name)
+		}
+		if res.Err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: %s: %v\n", sets[i].name, res.Err)
+			code = 1
+			continue
+		}
+		report := res.Out.Report
+		switch {
+		case *jsonOut:
+			data, err := json.MarshalIndent(report, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "regionwiz: %v\n", err)
+				return 1
+			}
+			fmt.Println(string(data))
+		case *statsOnly:
+			s := report.Stats
+			fmt.Printf("time=%v R=%d H=%d sub=%d own=%d heap=%d R-pair=%d O-pair=%d I-pair=%d high=%d contexts=%d\n",
+				s.Time, s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs, s.High, s.Contexts)
+		case *highOnly:
+			hw := report.HighWarnings()
+			fmt.Printf("regionwiz: %d high-ranked warning(s)\n", len(hw))
+			for i, w := range hw {
+				fmt.Printf("%3d [HIGH] %s\n", i+1, w.Message)
+			}
+		default:
+			fmt.Print(report)
+		}
+		if *phaseStats {
+			printPhaseStats(report.Stats.Phases)
+		}
+		if len(report.Warnings) > 0 && code == 0 {
+			code = 3
+		}
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: -memprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: -memprofile: %v\n", err)
+			return 1
+		}
+	}
+	return code
+}
+
+// fileSet is one independently analyzed program.
+type fileSet struct {
+	name  string
+	files []string
+}
+
+// fileSets groups the command-line arguments: every directory becomes
+// its own set (all .c files directly inside, sorted), and loose files
+// together form one set placed at the position of the first loose
+// argument.
+func fileSets(args []string) ([]fileSet, error) {
+	var sets []fileSet
+	var loose []string
+	looseAt := -1
+	for _, arg := range args {
+		st, err := os.Stat(arg)
+		if err != nil {
+			return nil, err
+		}
+		if !st.IsDir() {
+			if looseAt < 0 {
+				looseAt = len(sets)
+				sets = append(sets, fileSet{}) // placeholder
+			}
+			loose = append(loose, arg)
+			continue
+		}
+		matches, err := filepath.Glob(filepath.Join(arg, "*.c"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("%s: no .c files", arg)
+		}
+		sort.Strings(matches)
+		sets = append(sets, fileSet{name: arg, files: matches})
+	}
+	if looseAt >= 0 {
+		sets[looseAt] = fileSet{name: strings.Join(loose, " "), files: loose}
+	}
+	return sets, nil
+}
+
+// printPhaseStats renders the pipeline cost table.
+func printPhaseStats(phases []regionwiz.PhaseStat) {
+	fmt.Printf("%-10s %12s %12s  %s\n", "phase", "time", "alloc", "outputs")
+	var total time.Duration
+	for _, p := range phases {
+		keys := make([]string, 0, len(p.Outputs))
+		for k := range p.Outputs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var outs []string
+		for _, k := range keys {
+			outs = append(outs, fmt.Sprintf("%s=%d", k, p.Outputs[k]))
+		}
+		fmt.Printf("%-10s %12v %12s  %s\n",
+			p.Name, p.Time.Round(time.Microsecond), fmtBytes(p.AllocBytes),
+			strings.Join(outs, " "))
+		total += p.Time
+	}
+	fmt.Printf("%-10s %12v\n", "total", total.Round(time.Microsecond))
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fkB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
 	}
 }

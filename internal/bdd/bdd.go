@@ -118,6 +118,27 @@ func (m *Manager) NumVars() int { return m.numVars }
 // including the two terminals.
 func (m *Manager) NumNodes() int { return len(m.nodes) }
 
+// ManagerStats is a snapshot of the manager's footprint, exposed for
+// pipeline metrics and benchmarks.
+type ManagerStats struct {
+	// Nodes is the node-table size (including terminals).
+	Nodes int
+	// Vars is the number of allocated boolean variables.
+	Vars int
+	// CacheEntries sums the entries across all operation caches.
+	CacheEntries int
+}
+
+// Stats reports the manager's current footprint.
+func (m *Manager) Stats() ManagerStats {
+	return ManagerStats{
+		Nodes: len(m.nodes),
+		Vars:  m.numVars,
+		CacheEntries: len(m.binCache) + len(m.notCache) + len(m.existsCache) +
+			len(m.andExCache) + len(m.replaceCache) + len(m.satCache),
+	}
+}
+
 // AddVar allocates one fresh boolean variable and returns its index.
 func (m *Manager) AddVar() int {
 	v := m.numVars

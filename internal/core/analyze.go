@@ -1,14 +1,14 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sort"
-	"time"
 
 	"repro/internal/callgraph"
 	"repro/internal/cminor"
 	"repro/internal/contexts"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 	"repro/internal/pointer"
 )
 
@@ -67,6 +67,10 @@ type Options struct {
 	// ExtraAllocFns adds generic allocators (malloc-style) that create
 	// non-region objects.
 	ExtraAllocFns []string
+	// Observer, when set, receives pipeline phase start/end callbacks
+	// (logging, benchmarking, progress reporting). Phase metrics are
+	// additionally recorded in Report.Stats.Phases regardless.
+	Observer pipeline.Observer[*Analysis]
 }
 
 func (o *Options) fill() {
@@ -104,15 +108,32 @@ type Region struct {
 // RootRegion is the index of the root region Θ.
 const RootRegion = 0
 
-// Analysis holds the intermediate and final state of one run.
+// Analysis holds the intermediate and final state of one run — the
+// shared State threaded through the pipeline phases (phases.go).
 type Analysis struct {
-	Opts      Options
+	Opts Options
+	// Sources holds path->content pairs when the front-end phases
+	// (parse, check) run as part of the pipeline (AnalyzeSource).
+	Sources   map[string]string
 	Files     []*cminor.File
 	Info      *cminor.Info
 	Prog      *ir.Program
 	Graph     *callgraph.Graph
 	Numbering *contexts.Numbering
 	Ptr       *pointer.Result
+
+	// entries are the resolved analysis roots (lower phase).
+	entries []string
+	// pairs is the inconsistency computation's raw output (pairs
+	// phase), condensed by the post phase.
+	pairs []ObjectPair
+	// bddNodes/bddTuples record the BDD backend's final node-table
+	// and relation sizes (zero for the explicit backend).
+	bddNodes, bddTuples int64
+
+	// Metrics is the per-phase cost breakdown of the run, including
+	// phases that ran before an error aborted the pipeline.
+	Metrics *pipeline.Metrics
 
 	// Regions indexed by region index; Regions[0] is the root.
 	Regions []Region
@@ -149,74 +170,32 @@ type AccessEdge struct {
 // AnalyzeSource parses, checks, lowers, and analyzes CMinor sources
 // given as path->content pairs. Front-end diagnostics abort the run.
 func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
-	var files []*cminor.File
-	paths := make([]string, 0, len(sources))
-	for p := range sources {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		f, errs := cminor.Parse(p, sources[p])
-		if len(errs) != 0 {
-			return nil, fmt.Errorf("parse %s: %v (and %d more)", p, errs[0], len(errs)-1)
-		}
-		files = append(files, f)
-	}
-	info := cminor.Check(files...)
-	if len(info.Errors) != 0 {
-		return nil, fmt.Errorf("check: %v (and %d more)", info.Errors[0], len(info.Errors)-1)
-	}
-	return Analyze(opts, info, files...)
+	return AnalyzeSourceContext(context.Background(), opts, sources)
+}
+
+// AnalyzeSourceContext is AnalyzeSource under a context: the pipeline
+// checks ctx between phases and aborts with ctx.Err() when it is
+// cancelled or past its deadline.
+func AnalyzeSourceContext(ctx context.Context, opts Options, sources map[string]string) (*Analysis, error) {
+	opts.fill()
+	a := newAnalysis(opts)
+	a.Sources = sources
+	return runPhases(ctx, a, append(frontEndPhases(), analysisPhases()...))
 }
 
 // Analyze runs the full RegionWiz pipeline over checked files.
 func Analyze(opts Options, info *cminor.Info, files ...*cminor.File) (*Analysis, error) {
+	return AnalyzeContext(context.Background(), opts, info, files...)
+}
+
+// AnalyzeContext is Analyze under a context (see
+// AnalyzeSourceContext).
+func AnalyzeContext(ctx context.Context, opts Options, info *cminor.Info, files ...*cminor.File) (*Analysis, error) {
 	opts.fill()
-	start := time.Now()
-	a := &Analysis{
-		Opts:       opts,
-		Files:      files,
-		Info:       info,
-		regionOf:   make(map[int]int),
-		Owner:      make(map[int][]int),
-		parentVars: make(map[int]map[varInst]bool),
-		ownerVars:  make(map[int]map[varInst]bool),
-	}
-	// Phase 0: lowering.
-	a.Prog = ir.Lower(info, files...)
-	entries := opts.Entries
-	if len(entries) == 0 {
-		if _, ok := a.Prog.Funcs[opts.Entry]; !ok {
-			return nil, fmt.Errorf("entry function %q not defined", opts.Entry)
-		}
-		entries = []string{opts.Entry}
-	} else {
-		for _, e := range entries {
-			if _, ok := a.Prog.Funcs[e]; !ok {
-				return nil, fmt.Errorf("entry function %q not defined", e)
-			}
-		}
-	}
-	// Phase 1: call graph construction (Section 5.1).
-	a.Graph = callgraph.BuildEntries(a.Prog, entries, opts.ImplicitSpecs)
-	// Phase 2: context cloning (Section 5.2) — call-path numbering by
-	// default, k-CFA call strings when requested.
-	if opts.KCFA > 0 {
-		a.Numbering = contexts.NewKCFA(a.Graph, opts.KCFA, opts.ContextCap)
-	} else {
-		a.Numbering = contexts.Number(a.Graph, opts.ContextCap)
-	}
-	// Phase 3: conditional correlation computation (Section 5.3):
-	// pointer analysis, then region effects.
-	a.Ptr = pointer.Analyze(a.Numbering, a.pointerConfig())
-	a.extractRegions()
-	a.collapseParents()
-	a.extractOwnership()
-	a.extractAccess()
-	// Phase 3b: inconsistency computation; Phase 4: post processing.
-	pairs := a.computeObjectPairs()
-	a.Report = a.postProcess(pairs, time.Since(start))
-	return a, nil
+	a := newAnalysis(opts)
+	a.Info = info
+	a.Files = files
+	return runPhases(ctx, a, analysisPhases())
 }
 
 // pointerConfig derives the pointer-analysis extern models from the

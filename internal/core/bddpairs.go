@@ -95,6 +95,11 @@ func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
 			datalog.T(access, "o1", "n", "o2")),
 	}, 0)
 
+	// Expose the engine's final footprint to the pipeline metrics
+	// (the pairs phase reports them as bdd_nodes / datalog_tuples).
+	a.bddNodes = int64(p.NodeCount())
+	a.bddTuples = int64(p.TupleCount())
+
 	var out []ObjectPair
 	objectPair.Each(func(t []uint64) bool {
 		e := AccessEdge{Src: int(t[0]), Off: offs[t[1]], Dst: int(t[2])}

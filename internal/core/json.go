@@ -22,22 +22,30 @@ type warningJSON struct {
 	ObjectPair int    `json:"object_pairs"`
 }
 
+type phaseJSON struct {
+	Name       string           `json:"name"`
+	TimeMS     float64          `json:"time_ms"`
+	AllocBytes int64            `json:"alloc_bytes"`
+	Outputs    map[string]int64 `json:"outputs,omitempty"`
+}
+
 type statsJSON struct {
-	TimeMS     float64 `json:"time_ms"`
-	R          int     `json:"regions"`
-	H          int     `json:"objects"`
-	Sub        int     `json:"subregion_edges"`
-	Own        int     `json:"ownership_edges"`
-	Heap       int     `json:"heap_edges"`
-	RPairs     int64   `json:"region_pairs"`
-	OPairs     int     `json:"object_pairs"`
-	IPairs     int     `json:"instruction_pairs"`
-	High       int     `json:"high_ranked"`
-	Contexts   uint64  `json:"contexts"`
-	Funcs      int     `json:"functions"`
-	Instrs     int     `json:"instructions"`
-	Causes     int     `json:"unique_causes"`
-	HighCauses int     `json:"high_ranked_causes"`
+	TimeMS     float64     `json:"time_ms"`
+	R          int         `json:"regions"`
+	H          int         `json:"objects"`
+	Sub        int         `json:"subregion_edges"`
+	Own        int         `json:"ownership_edges"`
+	Heap       int         `json:"heap_edges"`
+	RPairs     int64       `json:"region_pairs"`
+	OPairs     int         `json:"object_pairs"`
+	IPairs     int         `json:"instruction_pairs"`
+	High       int         `json:"high_ranked"`
+	Contexts   uint64      `json:"contexts"`
+	Funcs      int         `json:"functions"`
+	Instrs     int         `json:"instructions"`
+	Causes     int         `json:"unique_causes"`
+	HighCauses int         `json:"high_ranked_causes"`
+	Phases     []phaseJSON `json:"phases,omitempty"`
 }
 
 // MarshalJSON renders the report as a stable machine-readable
@@ -73,6 +81,14 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Instrs:     s.Instrs,
 		Causes:     s.Causes,
 		HighCauses: s.HighCauses,
+	}
+	for _, p := range s.Phases {
+		out.Stats.Phases = append(out.Stats.Phases, phaseJSON{
+			Name:       p.Name,
+			TimeMS:     float64(p.Time) / float64(time.Millisecond),
+			AllocBytes: p.AllocBytes,
+			Outputs:    p.Outputs,
+		})
 	}
 	return json.Marshal(out)
 }

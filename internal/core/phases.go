@@ -1,0 +1,226 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"repro/internal/callgraph"
+	"repro/internal/cminor"
+	"repro/internal/contexts"
+	"repro/internal/ir"
+	"repro/internal/pipeline"
+	"repro/internal/pointer"
+)
+
+// Phase names, in execution order. Each maps onto a stage of the
+// paper's Section 5 pipeline; DESIGN.md's "pipeline phases" section
+// has the full correspondence.
+const (
+	PhaseParse     = "parse"     // CMinor front end (Section 5.1)
+	PhaseCheck     = "check"     // type checking (Section 5.1)
+	PhaseLower     = "lower"     // IR lowering + entry resolution (Section 5.1)
+	PhaseCallGraph = "callgraph" // call graph construction (Section 5.1)
+	PhaseContexts  = "contexts"  // context numbering (Section 5.2)
+	PhasePointer   = "pointer"   // pointer analysis with heap cloning (Section 5.3.1)
+	PhaseRegions   = "regions"   // region extraction + parent collapse (Section 4.3)
+	PhaseOwnership = "ownership" // ownership relation extraction (Section 5.3.1)
+	PhaseAccess    = "access"    // access relation restriction (Section 5.3.1)
+	PhasePairs     = "pairs"     // inconsistency computation (Section 5.3.2)
+	PhasePost      = "post"      // condensing + ranking (Section 5.4)
+)
+
+// PhaseNames lists every analysis phase in execution order, including
+// the front-end phases run only by AnalyzeSource.
+func PhaseNames() []string {
+	return []string{
+		PhaseParse, PhaseCheck, PhaseLower, PhaseCallGraph,
+		PhaseContexts, PhasePointer, PhaseRegions, PhaseOwnership,
+		PhaseAccess, PhasePairs, PhasePost,
+	}
+}
+
+// newAnalysis allocates the shared pipeline state. opts must already
+// be filled.
+func newAnalysis(opts Options) *Analysis {
+	return &Analysis{
+		Opts:       opts,
+		regionOf:   make(map[int]int),
+		Owner:      make(map[int][]int),
+		parentVars: make(map[int]map[varInst]bool),
+		ownerVars:  make(map[int]map[varInst]bool),
+	}
+}
+
+// frontEndPhases parses and checks a.Sources into a.Files and a.Info.
+func frontEndPhases() []pipeline.Phase[*Analysis] {
+	return []pipeline.Phase[*Analysis]{
+		pipeline.New(PhaseParse, func(_ context.Context, a *Analysis) error {
+			paths := make([]string, 0, len(a.Sources))
+			for p := range a.Sources {
+				paths = append(paths, p)
+			}
+			sort.Strings(paths)
+			for _, p := range paths {
+				f, errs := cminor.Parse(p, a.Sources[p])
+				if len(errs) != 0 {
+					return fmt.Errorf("parse %s: %v (and %d more)", p, errs[0], len(errs)-1)
+				}
+				a.Files = append(a.Files, f)
+			}
+			return nil
+		}),
+		pipeline.New(PhaseCheck, func(_ context.Context, a *Analysis) error {
+			a.Info = cminor.Check(a.Files...)
+			if len(a.Info.Errors) != 0 {
+				return fmt.Errorf("check: %v (and %d more)", a.Info.Errors[0], len(a.Info.Errors)-1)
+			}
+			return nil
+		}),
+	}
+}
+
+// analysisPhases is the back half of the pipeline: everything after
+// the front end, operating on a.Info and a.Files.
+func analysisPhases() []pipeline.Phase[*Analysis] {
+	return []pipeline.Phase[*Analysis]{
+		pipeline.New(PhaseLower, func(_ context.Context, a *Analysis) error {
+			a.Prog = ir.Lower(a.Info, a.Files...)
+			entries := a.Opts.Entries
+			if len(entries) == 0 {
+				if _, ok := a.Prog.Funcs[a.Opts.Entry]; !ok {
+					return fmt.Errorf("entry function %q not defined", a.Opts.Entry)
+				}
+				entries = []string{a.Opts.Entry}
+			} else {
+				for _, e := range entries {
+					if _, ok := a.Prog.Funcs[e]; !ok {
+						return fmt.Errorf("entry function %q not defined", e)
+					}
+				}
+			}
+			a.entries = entries
+			return nil
+		}),
+		pipeline.New(PhaseCallGraph, func(_ context.Context, a *Analysis) error {
+			a.Graph = callgraph.BuildEntries(a.Prog, a.entries, a.Opts.ImplicitSpecs)
+			return nil
+		}),
+		pipeline.New(PhaseContexts, func(_ context.Context, a *Analysis) error {
+			if a.Opts.KCFA > 0 {
+				a.Numbering = contexts.NewKCFA(a.Graph, a.Opts.KCFA, a.Opts.ContextCap)
+			} else {
+				a.Numbering = contexts.Number(a.Graph, a.Opts.ContextCap)
+			}
+			return nil
+		}),
+		pipeline.New(PhasePointer, func(_ context.Context, a *Analysis) error {
+			a.Ptr = pointer.Analyze(a.Numbering, a.pointerConfig())
+			return nil
+		}),
+		pipeline.New(PhaseRegions, func(_ context.Context, a *Analysis) error {
+			a.extractRegions()
+			a.collapseParents()
+			return nil
+		}),
+		pipeline.New(PhaseOwnership, func(_ context.Context, a *Analysis) error {
+			a.extractOwnership()
+			return nil
+		}),
+		pipeline.New(PhaseAccess, func(_ context.Context, a *Analysis) error {
+			a.extractAccess()
+			return nil
+		}),
+		pipeline.New(PhasePairs, func(_ context.Context, a *Analysis) error {
+			a.pairs = a.computeObjectPairs()
+			return nil
+		}),
+		pipeline.New(PhasePost, func(_ context.Context, a *Analysis) error {
+			a.Report = a.postProcess(a.pairs)
+			return nil
+		}),
+	}
+}
+
+// runPhases executes a phase list over a and folds the pipeline
+// metrics into the report's stats.
+func runPhases(ctx context.Context, a *Analysis, phases []pipeline.Phase[*Analysis]) (*Analysis, error) {
+	r := pipeline.NewRunner(phases...)
+	r.Observer = a.Opts.Observer
+	m, err := r.Run(ctx, a)
+	a.Metrics = m
+	if err != nil {
+		return nil, err
+	}
+	a.Report.Stats.Time = m.Total
+	a.Report.Stats.Phases = phaseStats(m)
+	return a, nil
+}
+
+// phaseStats converts pipeline metrics to the report's stable form.
+func phaseStats(m *pipeline.Metrics) []PhaseStat {
+	out := make([]PhaseStat, 0, len(m.Phases))
+	for _, pm := range m.Phases {
+		out = append(out, PhaseStat{
+			Name:       pm.Name,
+			Time:       pm.Wall,
+			AllocBytes: pm.AllocBytes,
+			Outputs:    pm.Outputs,
+		})
+	}
+	return out
+}
+
+// RelationSizes implements pipeline.RelationSizer: a snapshot of
+// every relation and counter the pipeline has produced so far. The
+// Runner diffs consecutive snapshots to attribute sizes to phases, so
+// each key lands in the Outputs of the phase that produced (or last
+// grew) it.
+func (a *Analysis) RelationSizes() map[string]int64 {
+	s := make(map[string]int64)
+	if len(a.Files) > 0 {
+		s["files"] = int64(len(a.Files))
+	}
+	if a.Prog != nil {
+		s["funcs"] = int64(len(a.Prog.Funcs))
+	}
+	if a.Graph != nil {
+		reach := a.Graph.ReachableFuncs()
+		s["reachable_funcs"] = int64(len(reach))
+		instrs := 0
+		for _, fn := range reach {
+			instrs += len(a.Prog.Funcs[fn].Instrs)
+		}
+		s["reachable_instrs"] = int64(instrs)
+	}
+	if a.Numbering != nil {
+		s["contexts"] = int64(a.Numbering.TotalContexts())
+	}
+	if a.Ptr != nil {
+		for k, v := range a.Ptr.SolverStats() {
+			s[k] = v
+		}
+	}
+	if len(a.Regions) > 0 {
+		s["regions"] = int64(len(a.Regions) - 1)
+		s["subregion_edges"] = int64(a.subEdges)
+	}
+	if a.ownEdges > 0 {
+		s["ownership_edges"] = int64(a.ownEdges)
+	}
+	if len(a.AccessEdges) > 0 {
+		s["access_edges"] = int64(len(a.AccessEdges))
+	}
+	if a.pairs != nil {
+		s["object_pairs"] = int64(len(a.pairs))
+	}
+	if a.bddNodes > 0 {
+		s["bdd_nodes"] = a.bddNodes
+		s["datalog_tuples"] = a.bddTuples
+	}
+	if a.Report != nil {
+		s["instruction_pairs"] = int64(a.Report.Stats.IPairs)
+		s["warnings"] = int64(len(a.Report.Warnings))
+	}
+	return s
+}

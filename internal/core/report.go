@@ -31,6 +31,19 @@ type Stats struct {
 	// manual inspection).
 	Causes     int
 	HighCauses int
+	// Phases is the pipeline cost breakdown: one entry per executed
+	// phase, in execution order.
+	Phases []PhaseStat
+}
+
+// PhaseStat is one pipeline phase's contribution to the run: wall
+// time, cumulative allocation, and the sizes of the relations the
+// phase produced.
+type PhaseStat struct {
+	Name       string
+	Time       time.Duration
+	AllocBytes int64
+	Outputs    map[string]int64
 }
 
 // Warning is one reported inconsistency, condensed to an instruction
@@ -87,8 +100,9 @@ func (r *Report) String() string {
 }
 
 // postProcess condenses object pairs, ranks them, and assembles the
-// report (Section 5.4).
-func (a *Analysis) postProcess(pairs []ObjectPair, elapsed time.Duration) *Report {
+// report (Section 5.4). Stats.Time and Stats.Phases are filled in by
+// runPhases once the pipeline completes.
+func (a *Analysis) postProcess(pairs []ObjectPair) *Report {
 	ipairs := a.condense(pairs)
 	warnings := make([]Warning, 0, len(ipairs))
 	high := 0
@@ -105,9 +119,31 @@ func (a *Analysis) postProcess(pairs []ObjectPair, elapsed time.Duration) *Repor
 		}
 		warnings = append(warnings, w)
 	}
-	// High-ranked warnings first; stable by site within each rank.
+	// Deterministic total order: high-ranked warnings first; within a
+	// rank, by holder (source) allocation site string — file:line —
+	// then pointee site, then the condensed pair key (source
+	// instruction ID, field offset, destination instruction ID).
+	// Repeated runs over the same input therefore produce
+	// byte-identical reports (asserted by TestReportDeterminism).
 	sort.SliceStable(warnings, func(i, j int) bool {
-		return warnings[i].High() && !warnings[j].High()
+		wi, wj := warnings[i], warnings[j]
+		if wi.High() != wj.High() {
+			return wi.High()
+		}
+		if wi.SrcPos != wj.SrcPos {
+			return wi.SrcPos < wj.SrcPos
+		}
+		if wi.DstPos != wj.DstPos {
+			return wi.DstPos < wj.DstPos
+		}
+		ki, kj := wi.IPair, wj.IPair
+		if ki.SrcSite != kj.SrcSite {
+			return ki.SrcSite < kj.SrcSite
+		}
+		if ki.Off != kj.Off {
+			return ki.Off < kj.Off
+		}
+		return ki.DstSite < kj.DstSite
 	})
 	reach := a.Graph.ReachableFuncs()
 	instrs := 0
@@ -117,7 +153,6 @@ func (a *Analysis) postProcess(pairs []ObjectPair, elapsed time.Duration) *Repor
 	return &Report{
 		Warnings: warnings,
 		Stats: Stats{
-			Time:       elapsed,
 			R:          a.RegionCount(),
 			H:          a.ObjectCount(),
 			Sub:        a.subEdges,

@@ -141,3 +141,23 @@ func (p *Program) Relation(name string, attrs ...Attr) *Relation {
 func (p *Program) Lookup(name string) *Relation {
 	return p.rels[name]
 }
+
+// NodeCount reports the size of the program's BDD node table — the
+// shared cost metric of every relation the program holds (the
+// "number of BDD nodes" the paper's Section 6.3 discussion tracks
+// when comparing variable orders).
+func (p *Program) NodeCount() int { return p.M.NumNodes() }
+
+// TupleCount sums the tuple counts of every declared relation. Unlike
+// NodeCount it measures logical size: two relations sharing BDD
+// structure count their tuples separately.
+func (p *Program) TupleCount() uint64 {
+	var n uint64
+	for _, r := range p.rels {
+		n += r.Count()
+	}
+	return n
+}
+
+// RelationCount reports how many relations are declared.
+func (p *Program) RelationCount() int { return len(p.rels) }

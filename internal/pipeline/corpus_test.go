@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCorpusOrderAndResults(t *testing.T) {
+	inputs := make([]int, 50)
+	for i := range inputs {
+		inputs[i] = i
+	}
+	for _, jobs := range []int{1, 4, 64} {
+		results := RunCorpus(context.Background(), inputs, jobs,
+			func(_ context.Context, n int) (int, error) {
+				return n * n, nil
+			})
+		if len(results) != len(inputs) {
+			t.Fatalf("jobs=%d: %d results, want %d", jobs, len(results), len(inputs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("jobs=%d: job %d: %v", jobs, i, r.Err)
+			}
+			if r.Index != i || r.Out != i*i {
+				t.Errorf("jobs=%d: results[%d] = {Index:%d Out:%d}, want {%d %d}",
+					jobs, i, r.Index, r.Out, i, i*i)
+			}
+		}
+	}
+}
+
+func TestRunCorpusBoundedWorkers(t *testing.T) {
+	const jobs = 3
+	var cur, max atomic.Int32
+	var mu sync.Mutex
+	bump := func() {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > max.Load() {
+			max.Store(n)
+		}
+		mu.Unlock()
+	}
+	inputs := make([]int, 40)
+	results := RunCorpus(context.Background(), inputs, jobs,
+		func(_ context.Context, _ int) (struct{}, error) {
+			bump()
+			defer cur.Add(-1)
+			// A tiny busy wait makes overlap observable.
+			for i := 0; i < 1000; i++ {
+				_ = i
+			}
+			return struct{}{}, nil
+		})
+	if len(results) != len(inputs) {
+		t.Fatalf("%d results, want %d", len(results), len(inputs))
+	}
+	if got := max.Load(); got > jobs {
+		t.Errorf("observed %d concurrent jobs, cap is %d", got, jobs)
+	}
+}
+
+func TestRunCorpusCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	inputs := make([]int, 100)
+	// One worker; the third job cancels, so later jobs must be skipped
+	// with ctx.Err().
+	results := RunCorpus(ctx, inputs, 1,
+		func(_ context.Context, _ int) (int, error) {
+			n := started.Add(1)
+			if n == 3 {
+				cancel()
+			}
+			return int(n), nil
+		})
+	skipped := 0
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			skipped++
+			if r.Wall != 0 {
+				t.Error("skipped job has nonzero wall time")
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("cancellation skipped no jobs")
+	}
+	if got := int(started.Load()); got+skipped != len(inputs) {
+		t.Errorf("started %d + skipped %d != %d jobs", got, skipped, len(inputs))
+	}
+}
+
+func TestRunCorpusErrorIsolation(t *testing.T) {
+	inputs := []int{0, 1, 2, 3}
+	results := RunCorpus(context.Background(), inputs, 2,
+		func(_ context.Context, n int) (string, error) {
+			if n%2 == 1 {
+				return "", fmt.Errorf("odd %d", n)
+			}
+			return fmt.Sprintf("ok %d", n), nil
+		})
+	for i, r := range results {
+		if i%2 == 1 && r.Err == nil {
+			t.Errorf("job %d should have failed", i)
+		}
+		if i%2 == 0 && (r.Err != nil || r.Out != fmt.Sprintf("ok %d", i)) {
+			t.Errorf("job %d = %+v, want ok", i, r)
+		}
+	}
+}
+
+func TestRunCorpusEmpty(t *testing.T) {
+	results := RunCorpus(context.Background(), nil, 4,
+		func(_ context.Context, _ int) (int, error) { return 0, nil })
+	if len(results) != 0 {
+		t.Errorf("%d results for empty input", len(results))
+	}
+}

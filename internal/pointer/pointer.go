@@ -240,6 +240,28 @@ func (r *Result) HeapSize() int {
 	return n
 }
 
+// PtsSize reports the number of variable points-to edges across all
+// calling contexts.
+func (r *Result) PtsSize() int {
+	n := 0
+	for _, set := range r.pts {
+		n += len(set)
+	}
+	return n
+}
+
+// SolverStats summarizes the solver's effort and output sizes for the
+// pipeline metrics: fixpoint rounds, abstract objects, and the
+// variable/heap points-to relation sizes.
+func (r *Result) SolverStats() map[string]int64 {
+	return map[string]int64{
+		"ptr_rounds":     int64(r.Rounds),
+		"ptr_objects":    int64(len(r.Objects)),
+		"pts_edges":      int64(r.PtsSize()),
+		"ptr_heap_edges": int64(r.HeapSize()),
+	}
+}
+
 func sortedLocs(set map[Loc]bool) []Loc {
 	out := make([]Loc, 0, len(set))
 	for l := range set {

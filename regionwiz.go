@@ -27,6 +27,7 @@
 package regionwiz
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 
@@ -79,8 +80,13 @@ type Report = core.Report
 type Warning = core.Warning
 
 // Stats carries the quantitative columns (analysis time, region and
-// object counts, relation sizes, pair counts).
+// object counts, relation sizes, pair counts) plus the per-phase
+// pipeline breakdown.
 type Stats = core.Stats
+
+// PhaseStat is one pipeline phase's cost: wall time, allocation
+// delta, and output-relation sizes.
+type PhaseStat = core.PhaseStat
 
 // Analysis exposes the full pipeline state for programmatic consumers
 // (region tree, ownership, access edges, the conditional correlation).
@@ -95,6 +101,13 @@ func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
 	return core.AnalyzeSource(opts, sources)
 }
 
+// AnalyzeSourceContext is AnalyzeSource under a context: the pipeline
+// checks ctx between phases and aborts with ctx.Err() when it is
+// cancelled or past its deadline.
+func AnalyzeSourceContext(ctx context.Context, opts Options, sources map[string]string) (*Analysis, error) {
+	return core.AnalyzeSourceContext(ctx, opts, sources)
+}
+
 // Analyze is AnalyzeSource returning just the report.
 func Analyze(opts Options, sources map[string]string) (*Report, error) {
 	a, err := core.AnalyzeSource(opts, sources)
@@ -107,6 +120,12 @@ func Analyze(opts Options, sources map[string]string) (*Report, error) {
 // AnalyzeFiles reads the given files from disk and analyzes them as
 // one program.
 func AnalyzeFiles(opts Options, paths ...string) (*Analysis, error) {
+	return AnalyzeFilesContext(context.Background(), opts, paths...)
+}
+
+// AnalyzeFilesContext is AnalyzeFiles under a context (see
+// AnalyzeSourceContext).
+func AnalyzeFilesContext(ctx context.Context, opts Options, paths ...string) (*Analysis, error) {
 	sources := make(map[string]string, len(paths))
 	for _, p := range paths {
 		b, err := os.ReadFile(p)
@@ -115,5 +134,5 @@ func AnalyzeFiles(opts Options, paths ...string) (*Analysis, error) {
 		}
 		sources[filepath.Clean(p)] = string(b)
 	}
-	return core.AnalyzeSource(opts, sources)
+	return core.AnalyzeSourceContext(ctx, opts, sources)
 }
