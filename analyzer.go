@@ -1,0 +1,98 @@
+package regionwiz
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// AnalyzerConfig sizes an Analyzer's service layer: worker pool,
+// admission queue, result cache, and per-request deadline. The zero
+// value is ready to use (GOMAXPROCS workers, queue depth 64, 128
+// cached results, no deadline).
+type AnalyzerConfig = service.Config
+
+// ServiceStats is a snapshot of an Analyzer's counters: cache hits
+// and misses, coalesced and overloaded requests, inflight and queued
+// gauges, queue waits, and per-phase cost totals.
+type ServiceStats = service.Stats
+
+// Result is one served analysis: the full pipeline state, the
+// canonical report JSON (byte-identical across identical requests),
+// the content-addressed request key, and how the request was served
+// (fresh run, cache hit, or coalesced onto an in-flight run).
+type Result = service.Result
+
+// Analyzer is a reusable, concurrency-safe analysis handle. Unlike
+// the one-shot package functions it keeps a content-addressed result
+// cache and a bounded worker pool between calls, so repeating an
+// analysis over unchanged sources is effectively free and a burst of
+// requests degrades into typed overload errors instead of unbounded
+// goroutines. Create with New (or NewAnalyzer to size the pool and
+// cache), release with Close.
+type Analyzer struct {
+	opts Options
+	svc  *service.Service
+}
+
+// New validates the options and returns a reusable Analyzer handle
+// with default service sizing.
+func New(opts Options) (*Analyzer, error) {
+	return NewAnalyzer(opts, AnalyzerConfig{})
+}
+
+// NewAnalyzer is New with explicit service sizing.
+func NewAnalyzer(opts Options, cfg AnalyzerConfig) (*Analyzer, error) {
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	return &Analyzer{opts: opts, svc: service.New(cfg)}, nil
+}
+
+// Analyze analyzes path->content sources with the handle's options
+// and returns the report. An identical repeat (same options, same
+// sources) is served from the cache without running the pipeline.
+func (a *Analyzer) Analyze(ctx context.Context, sources map[string]string) (*Report, error) {
+	res, err := a.AnalyzeResult(ctx, sources)
+	if err != nil {
+		return nil, err
+	}
+	return res.Analysis.Report, nil
+}
+
+// AnalyzeFiles reads the given files from disk and analyzes them as
+// one program. The cache key covers file contents, so editing a file
+// naturally invalidates its cached results. Duplicate paths (after
+// cleaning) are rejected.
+func (a *Analyzer) AnalyzeFiles(ctx context.Context, paths ...string) (*Report, error) {
+	sources, err := readSourceFiles(paths)
+	if err != nil {
+		return nil, err
+	}
+	return a.Analyze(ctx, sources)
+}
+
+// AnalyzeResult is Analyze returning the full service Result — the
+// pipeline state, the canonical report JSON, and the cached/coalesced
+// disposition.
+func (a *Analyzer) AnalyzeResult(ctx context.Context, sources map[string]string) (*Result, error) {
+	return a.svc.Analyze(ctx, a.opts, sources)
+}
+
+// Options returns the handle's normalized options.
+func (a *Analyzer) Options() Options { return a.opts }
+
+// Stats snapshots the handle's service counters.
+func (a *Analyzer) Stats() ServiceStats { return a.svc.Stats() }
+
+// Close rejects new requests, fails queued ones with a typed error,
+// and waits for running analyses to finish. Idempotent.
+func (a *Analyzer) Close() error { return a.svc.Close() }
+
+// Handler exposes the Analyzer's service over HTTP with the
+// regionwizd endpoint set (POST /v1/analyze, GET /v1/healthz,
+// GET /v1/metrics, GET /v1/stats). HTTP requests carry their own
+// options; the handle's options do not apply to them.
+func (a *Analyzer) Handler() http.Handler { return service.NewHandler(a.svc) }

@@ -1,0 +1,199 @@
+package regionwiz
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAnalyzerHandle(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx := context.Background()
+	sources := map[string]string{"q.c": quickstartSrc}
+
+	first, err := a.AnalyzeResult(ctx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first call reported cached")
+	}
+	if len(first.Analysis.Report.Warnings) != 1 {
+		t.Fatalf("warnings = %d, want 1", len(first.Analysis.Report.Warnings))
+	}
+
+	second, err := a.AnalyzeResult(ctx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.Cached {
+		t.Fatal("second identical call missed the cache")
+	}
+	if !bytes.Equal(first.ReportJSON, second.ReportJSON) {
+		t.Fatal("cached report JSON not byte-identical")
+	}
+
+	// The plain Analyze method returns the same report.
+	report, err := a.Analyze(ctx, sources)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Warnings) != 1 {
+		t.Fatalf("Analyze warnings = %d, want 1", len(report.Warnings))
+	}
+
+	st := a.Stats()
+	if st.Requests != 3 || st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 3 requests / 1 miss / 2 hits", st)
+	}
+}
+
+func TestAnalyzerRejectsBadOptions(t *testing.T) {
+	_, err := New(Options{KCFA: -2})
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Kind != ErrConfig {
+		t.Fatalf("err = %v, want config Error", err)
+	}
+}
+
+func TestAnalyzerFiles(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(path, []byte(quickstartSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ctx := context.Background()
+
+	if _, err := a.AnalyzeFiles(ctx, path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AnalyzeFiles(ctx, path); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1 (unchanged file re-served from cache)", st.Hits)
+	}
+	// Editing the file changes its digest and busts the cache.
+	if err := os.WriteFile(path, []byte(quickstartSrc+"\n/* edited */\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AnalyzeFiles(ctx, path); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (edit invalidated the cache)", st.Misses)
+	}
+}
+
+func TestAnalyzerClose(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Analyze(context.Background(), map[string]string{"q.c": quickstartSrc}); err == nil {
+		t.Fatal("Analyze after Close succeeded")
+	}
+}
+
+func TestAnalyzerHandler(t *testing.T) {
+	a, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+}
+
+func TestDuplicateCleanedPathsRejected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "prog.c")
+	if err := os.WriteFile(path, []byte(quickstartSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Same file spelled two ways: cleans to one path.
+	dotted := filepath.Join(dir, ".", "prog.c")
+	_, err := AnalyzeFiles(Options{}, path, dotted)
+	if err == nil {
+		t.Fatal("duplicate cleaned paths accepted")
+	}
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Kind != ErrConfig {
+		t.Fatalf("err = %v, want config Error", err)
+	}
+}
+
+func TestTypedErrorsAtPublicBoundary(t *testing.T) {
+	var aerr *Error
+
+	_, err := Analyze(Options{}, map[string]string{"bad.c": "int main(void) { return }"})
+	if !errors.As(err, &aerr) {
+		t.Fatalf("parse err = %v, want *Error", err)
+	}
+	if aerr.Kind != ErrParse || aerr.Pos == "" {
+		t.Fatalf("parse err kind %v pos %q, want positioned parse Error", aerr.Kind, aerr.Pos)
+	}
+	if !errors.Is(err, &Error{Kind: ErrParse}) {
+		t.Fatal("errors.Is parse sentinel failed")
+	}
+
+	_, err = Analyze(Options{Entry: "absent"}, map[string]string{"a.c": "int main(void) { return 0; }"})
+	if !errors.As(err, &aerr) || aerr.Kind != ErrResolve {
+		t.Fatalf("resolve err = %v, want resolve Error", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = AnalyzeSourceContext(ctx, Options{}, map[string]string{"a.c": "int main(void) { return 0; }"})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled err = %v, want wraps context.Canceled", err)
+	}
+	if !errors.As(err, &aerr) || aerr.Kind != ErrInternal {
+		t.Fatalf("cancelled err = %v, want internal Error", err)
+	}
+}
+
+func TestReportJSONSchemaAtFacade(t *testing.T) {
+	report, err := Analyze(Options{}, map[string]string{"q.c": quickstartSrc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != ReportSchemaV1 {
+		t.Fatalf("schema = %q, want %q", decoded.Schema, ReportSchemaV1)
+	}
+}

@@ -1,0 +1,115 @@
+// Command regionwizd serves the RegionWiz analysis as a long-running
+// HTTP daemon with a content-addressed result cache and bounded
+// admission control: repeated identical requests are answered from
+// cache, concurrent identical requests share one pipeline run, and
+// overload degrades into fast 429 responses instead of unbounded
+// goroutines.
+//
+// Usage:
+//
+//	regionwizd [flags]
+//
+// Endpoints:
+//
+//	POST /v1/analyze   {"sources": {"path": "content", ...},
+//	                    "options": {"entry": "main", "api": "both", ...}}
+//	                   -> {"cached": bool, "key": "...", "report": {...}}
+//	                   (report schema "regionwiz/report/v1")
+//	GET  /v1/healthz   liveness probe
+//	GET  /v1/metrics   Prometheus text exposition
+//	GET  /v1/stats     counters as JSON
+//
+// Flags:
+//
+//	-addr host:port       listen address (default "127.0.0.1:8747")
+//	-workers N            concurrent pipeline runs (default GOMAXPROCS)
+//	-queue-depth N        waiting requests beyond the pool (default 64)
+//	-cache-entries N      LRU result cache size (default 128; -1 disables)
+//	-request-timeout D    per-request deadline, queue wait included (default 2m)
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	addr := flag.String("addr", "127.0.0.1:8747", "listen address")
+	workers := flag.Int("workers", 0, "concurrent pipeline runs (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "waiting requests beyond the worker pool")
+	cacheEntries := flag.Int("cache-entries", 128, "LRU result cache size (-1 disables caching)")
+	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queueDepth,
+		CacheEntries:   *cacheEntries,
+		RequestTimeout: *requestTimeout,
+	})
+	server := &http.Server{
+		Addr:              *addr,
+		Handler:           logRequests(service.NewHandler(svc)),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- server.ListenAndServe() }()
+	log.Printf("regionwizd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
+		*addr, *workers, *queueDepth, *cacheEntries, *requestTimeout)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("regionwizd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := server.Shutdown(ctx); err != nil {
+			log.Printf("regionwizd: shutdown: %v", err)
+		}
+		svc.Close()
+		st := svc.Stats()
+		log.Printf("regionwizd: served %d requests (%d hits, %d misses, %d coalesced, %d overloads)",
+			st.Requests, st.Hits, st.Misses, st.Coalesced, st.Overloads)
+		return 0
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "regionwizd: %v\n", err)
+		return 1
+	}
+}
+
+// logRequests is a minimal access log: method, path, status, wall.
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		log.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+	})
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

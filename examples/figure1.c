@@ -1,0 +1,24 @@
+/* Figure 1 of the paper, condensed: a request object allocated in a
+ * sibling region keeps a pointer to a connection object in another
+ * region, so deleting the connection's region first leaves req->connection
+ * dangling. RegionWiz reports this as a HIGH-ranked inconsistency.
+ *
+ * Used by the README / CI smoke request against regionwizd.
+ */
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+
+struct conn_t { int fd; };
+struct req_t { struct conn_t *connection; };
+
+int main(void) {
+    region_t *r; region_t *subr;
+    struct conn_t *conn; struct req_t *req;
+    r = rnew(NULL);
+    conn = ralloc(r);
+    subr = rnew(NULL);   /* BUG: sibling region, not a subregion of r */
+    req = ralloc(subr);
+    req->connection = conn;
+    return 0;
+}

@@ -73,20 +73,13 @@ type Options struct {
 	Observer pipeline.Observer[*Analysis]
 }
 
-func (o *Options) fill() {
-	if o.Entry == "" {
-		o.Entry = "main"
+// prepare normalizes and validates options at an Analyze* boundary.
+func (o Options) prepare() (Options, error) {
+	o = o.Normalize()
+	if err := o.Validate(); err != nil {
+		return o, err
 	}
-	if o.API == nil {
-		o.API = MergeAPIs(APRPools(), RCRegions())
-	}
-	if o.ContextCap == 0 {
-		o.ContextCap = 4096
-	}
-	if o.HeapCloning == nil {
-		t := true
-		o.HeapCloning = &t
-	}
+	return o, nil
 }
 
 // Bool is a convenience for Options.HeapCloning.
@@ -177,7 +170,10 @@ func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
 // checks ctx between phases and aborts with ctx.Err() when it is
 // cancelled or past its deadline.
 func AnalyzeSourceContext(ctx context.Context, opts Options, sources map[string]string) (*Analysis, error) {
-	opts.fill()
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	a := newAnalysis(opts)
 	a.Sources = sources
 	return runPhases(ctx, a, append(frontEndPhases(), analysisPhases()...))
@@ -191,7 +187,10 @@ func Analyze(opts Options, info *cminor.Info, files ...*cminor.File) (*Analysis,
 // AnalyzeContext is Analyze under a context (see
 // AnalyzeSourceContext).
 func AnalyzeContext(ctx context.Context, opts Options, info *cminor.Info, files ...*cminor.File) (*Analysis, error) {
-	opts.fill()
+	opts, err := opts.prepare()
+	if err != nil {
+		return nil, err
+	}
 	a := newAnalysis(opts)
 	a.Info = info
 	a.Files = files

@@ -5,8 +5,15 @@ import (
 	"time"
 )
 
-// reportJSON is the stable JSON shape of a Report.
+// ReportSchemaV1 identifies the report JSON encoding. Consumers
+// should check it before decoding; additive changes keep the v1 name,
+// incompatible ones bump it.
+const ReportSchemaV1 = "regionwiz/report/v1"
+
+// reportJSON is the stable JSON shape of a Report, versioned by the
+// schema field (pinned by the golden test in json_test.go).
 type reportJSON struct {
+	Schema   string        `json:"schema"`
 	Warnings []warningJSON `json:"warnings"`
 	Stats    statsJSON     `json:"stats"`
 }
@@ -51,7 +58,7 @@ type statsJSON struct {
 // MarshalJSON renders the report as a stable machine-readable
 // structure (the cmd/regionwiz -json output).
 func (r *Report) MarshalJSON() ([]byte, error) {
-	out := reportJSON{Warnings: []warningJSON{}}
+	out := reportJSON{Schema: ReportSchemaV1, Warnings: []warningJSON{}}
 	for _, w := range r.Warnings {
 		out.Warnings = append(out.Warnings, warningJSON{
 			High:       w.High(),

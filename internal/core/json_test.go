@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fully fixed Report literal: every field that
+// reaches the JSON encoding is pinned, so the golden file pins the
+// encoding itself.
+func goldenReport() *Report {
+	return &Report{
+		Warnings: []Warning{{
+			IPair: IPair{
+				SrcSite: 7,
+				Off:     8,
+				DstSite: 12,
+				High:    true,
+				Pairs:   3,
+			},
+			SrcPos:    "q.c:12:5 (main)",
+			DstPos:    "q.c:10:5 (main)",
+			SrcRegion: "region@q.c:11:5#0",
+			DstRegion: "region@q.c:9:5#0",
+			Message:   "object allocated at q.c:12:5 (main) may hold a dangling pointer (offset 8) to object allocated at q.c:10:5 (main): owner region region@q.c:11:5#0 has no subregion order with region@q.c:9:5#0",
+			Cause:     "main",
+		}},
+		Stats: Stats{
+			Time:       1500 * time.Microsecond,
+			R:          2,
+			H:          2,
+			Sub:        1,
+			Own:        2,
+			Heap:       1,
+			RPairs:     2,
+			OPairs:     1,
+			IPairs:     1,
+			High:       1,
+			Contexts:   1,
+			Funcs:      1,
+			Instrs:     20,
+			Causes:     1,
+			HighCauses: 1,
+			Phases: []PhaseStat{
+				{
+					Name:       PhasePointer,
+					Time:       800 * time.Microsecond,
+					AllocBytes: 4096,
+					Outputs:    map[string]int64{"ptr_objects": 5},
+				},
+				{
+					Name: PhasePost,
+					Time: 100 * time.Microsecond,
+				},
+			},
+		},
+	}
+}
+
+// TestReportJSONGolden pins the versioned report encoding: the schema
+// marker and every field name and value rendering must match the
+// golden file byte for byte. Regenerate deliberately with
+// `go test ./internal/core -run ReportJSONGolden -update` when the
+// schema version is bumped.
+func TestReportJSONGolden(t *testing.T) {
+	data, err := json.MarshalIndent(goldenReport(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	golden := filepath.Join("testdata", "report_v1.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, want) {
+		t.Errorf("report JSON drifted from %s\n--- got ---\n%s\n--- want ---\n%s", golden, data, want)
+	}
+}
+
+// TestReportJSONSchemaField asserts the schema marker rides along on
+// real (non-golden) reports too.
+func TestReportJSONSchemaField(t *testing.T) {
+	data, err := json.Marshal(&Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Schema != ReportSchemaV1 {
+		t.Fatalf("schema = %q, want %q", decoded.Schema, ReportSchemaV1)
+	}
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"sort"
 
 	"repro/internal/callgraph"
@@ -64,7 +63,8 @@ func frontEndPhases() []pipeline.Phase[*Analysis] {
 			for _, p := range paths {
 				f, errs := cminor.Parse(p, a.Sources[p])
 				if len(errs) != 0 {
-					return fmt.Errorf("parse %s: %v (and %d more)", p, errs[0], len(errs)-1)
+					return Errf(ErrParse, errs[0].Pos.String(),
+						"parse %s: %v (and %d more)", p, errs[0], len(errs)-1)
 				}
 				a.Files = append(a.Files, f)
 			}
@@ -73,7 +73,8 @@ func frontEndPhases() []pipeline.Phase[*Analysis] {
 		pipeline.New(PhaseCheck, func(_ context.Context, a *Analysis) error {
 			a.Info = cminor.Check(a.Files...)
 			if len(a.Info.Errors) != 0 {
-				return fmt.Errorf("check: %v (and %d more)", a.Info.Errors[0], len(a.Info.Errors)-1)
+				return Errf(ErrParse, a.Info.Errors[0].Pos.String(),
+					"check: %v (and %d more)", a.Info.Errors[0], len(a.Info.Errors)-1)
 			}
 			return nil
 		}),
@@ -89,13 +90,13 @@ func analysisPhases() []pipeline.Phase[*Analysis] {
 			entries := a.Opts.Entries
 			if len(entries) == 0 {
 				if _, ok := a.Prog.Funcs[a.Opts.Entry]; !ok {
-					return fmt.Errorf("entry function %q not defined", a.Opts.Entry)
+					return Errf(ErrResolve, "", "entry function %q not defined", a.Opts.Entry)
 				}
 				entries = []string{a.Opts.Entry}
 			} else {
 				for _, e := range entries {
 					if _, ok := a.Prog.Funcs[e]; !ok {
-						return fmt.Errorf("entry function %q not defined", e)
+						return Errf(ErrResolve, "", "entry function %q not defined", e)
 					}
 				}
 			}
@@ -150,7 +151,10 @@ func runPhases(ctx context.Context, a *Analysis, phases []pipeline.Phase[*Analys
 	m, err := r.Run(ctx, a)
 	a.Metrics = m
 	if err != nil {
-		return nil, err
+		// Phase errors are already typed; anything else (a context
+		// cancellation, an unexpected failure) becomes an internal
+		// Error that still unwraps to its cause.
+		return nil, WrapError(ErrInternal, err)
 	}
 	a.Report.Stats.Time = m.Total
 	a.Report.Stats.Phases = phaseStats(m)

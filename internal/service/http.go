@@ -1,0 +1,190 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// maxRequestBody bounds a POST /v1/analyze body (sources are text;
+// the paper's largest case study is a few MB).
+const maxRequestBody = 64 << 20
+
+// AnalyzeResponse is the POST /v1/analyze success body.
+type AnalyzeResponse struct {
+	// Cached and Coalesced mirror Result: how the request was served.
+	Cached    bool `json:"cached"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// Key is the content-addressed request key (stable across
+	// identical requests; useful for client-side caching).
+	Key string `json:"key"`
+	// Report is the versioned report encoding (schema
+	// "regionwiz/report/v1"), byte-identical across identical
+	// requests.
+	Report json.RawMessage `json:"report"`
+}
+
+// errorResponse is every endpoint's failure body.
+type errorResponse struct {
+	Error errorJSON `json:"error"`
+}
+
+type errorJSON struct {
+	Kind    string `json:"kind"`
+	Message string `json:"message"`
+	Pos     string `json:"pos,omitempty"`
+}
+
+// NewHandler exposes a Service over HTTP:
+//
+//	POST /v1/analyze  — run (or replay) an analysis
+//	GET  /v1/healthz  — liveness
+//	GET  /v1/metrics  — counters in Prometheus text exposition format
+//	GET  /v1/stats    — counters as JSON
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		handleAnalyze(s, w, r)
+	})
+	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("/v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeMetrics(w, s.Stats())
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeError(w, http.StatusMethodNotAllowed,
+			core.Errf(core.ErrConfig, "", "analyze wants POST, got %s", r.Method))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest,
+			core.Errf(core.ErrConfig, "", "bad request body: %v", err))
+		return
+	}
+	opts, err := req.Options.ToOptions()
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	res, err := s.Analyze(r.Context(), opts, req.Sources)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if res.Cached {
+		w.Header().Set("X-Regionwiz-Cache", "hit")
+	} else {
+		w.Header().Set("X-Regionwiz-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, AnalyzeResponse{
+		Cached:    res.Cached,
+		Coalesced: res.Coalesced,
+		Key:       res.Key,
+		Report:    json.RawMessage(res.ReportJSON),
+	})
+}
+
+// statusFor maps error kinds to HTTP statuses.
+func statusFor(err error) int {
+	var aerr *core.Error
+	if !errors.As(err, &aerr) {
+		return http.StatusInternalServerError
+	}
+	switch aerr.Kind {
+	case core.ErrConfig:
+		return http.StatusBadRequest
+	case core.ErrParse, core.ErrResolve:
+		return http.StatusUnprocessableEntity
+	case core.ErrOverload:
+		return http.StatusTooManyRequests
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	kind, pos := core.ErrInternal, ""
+	var aerr *core.Error
+	if errors.As(err, &aerr) {
+		kind, pos = aerr.Kind, aerr.Pos
+	}
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, errorResponse{Error: errorJSON{
+		Kind:    kind.String(),
+		Message: err.Error(),
+		Pos:     pos,
+	}})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeMetrics renders the stats snapshot in the Prometheus text
+// exposition format (hand-rolled: no client library dependency).
+func writeMetrics(w http.ResponseWriter, st Stats) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	var sb strings.Builder
+	counter := func(name string, v uint64, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name string, v int64, help string) {
+		fmt.Fprintf(&sb, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("regionwizd_requests_total", st.Requests, "Analyze requests received.")
+	counter("regionwizd_cache_hits_total", st.Hits, "Requests served from the result cache.")
+	counter("regionwizd_coalesced_total", st.Coalesced, "Requests coalesced onto an identical in-flight run.")
+	counter("regionwizd_cache_misses_total", st.Misses, "Requests that ran the pipeline.")
+	counter("regionwizd_overloads_total", st.Overloads, "Requests rejected by admission control.")
+	counter("regionwizd_errors_total", st.Errors, "Failed requests, overloads included.")
+	counter("regionwizd_cache_evictions_total", st.CacheEvictions, "Cache entries evicted to make room.")
+	counter("regionwizd_queue_waits_total", st.QueueWaits, "Requests that waited in the admission queue.")
+	gauge("regionwizd_inflight", st.Inflight, "Pipeline runs executing now.")
+	gauge("regionwizd_queued", st.Queued, "Requests waiting for a worker slot.")
+	gauge("regionwizd_cache_entries", int64(st.CacheEntries), "Result cache population.")
+	fmt.Fprintf(&sb, "# HELP regionwizd_queue_wait_seconds_total Cumulative admission queue wait.\n# TYPE regionwizd_queue_wait_seconds_total counter\nregionwizd_queue_wait_seconds_total %g\n",
+		st.QueueWait.Seconds())
+	names := make([]string, 0, len(st.Phases))
+	for name := range st.Phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		sb.WriteString("# HELP regionwizd_phase_runs_total Pipeline phase executions.\n# TYPE regionwizd_phase_runs_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "regionwizd_phase_runs_total{phase=%q} %d\n", name, st.Phases[name].Runs)
+		}
+		sb.WriteString("# HELP regionwizd_phase_wall_seconds_total Cumulative phase wall time.\n# TYPE regionwizd_phase_wall_seconds_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "regionwizd_phase_wall_seconds_total{phase=%q} %g\n", name, st.Phases[name].Wall.Seconds())
+		}
+		sb.WriteString("# HELP regionwizd_phase_alloc_bytes_total Cumulative phase allocation.\n# TYPE regionwizd_phase_alloc_bytes_total counter\n")
+		for _, name := range names {
+			fmt.Fprintf(&sb, "regionwizd_phase_alloc_bytes_total{phase=%q} %d\n", name, st.Phases[name].AllocBytes)
+		}
+	}
+	w.Write([]byte(sb.String()))
+}

@@ -1,0 +1,310 @@
+// Package service wraps the RegionWiz analysis pipeline in a
+// long-running, cache-backed service: the engine behind the
+// regionwiz.Analyzer handle and the regionwizd daemon.
+//
+// A request is (Options, sources). The service keys it by a
+// content-addressed digest — the options fingerprint plus per-file
+// source digests — and serves it one of three ways:
+//
+//   - cache hit: a completed identical request's result is returned
+//     without running anything;
+//   - coalesced: an identical request is already in flight, so this
+//     one waits and shares its result (singleflight);
+//   - fresh run: the request passes admission control (a bounded
+//     worker pool with a bounded wait queue and per-request deadline)
+//     and runs the pipeline; overflow is rejected with a typed
+//     overload error instead of piling up goroutines.
+//
+// Per-phase cost totals, hit/miss/overload counters, and queue-wait
+// gauges are collected from the pipeline's Observer seam and exposed
+// via Stats.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// Config sizes the service. The zero value is ready to use.
+type Config struct {
+	// Workers bounds concurrent pipeline runs (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds requests waiting for a worker beyond the pool
+	// (default 64). With the pool and queue both full, Analyze fails
+	// fast with an overload error.
+	QueueDepth int
+	// CacheEntries bounds the LRU result cache (default 128; negative
+	// disables caching — requests still coalesce while in flight).
+	CacheEntries int
+	// RequestTimeout, when positive, caps each request end to end:
+	// queue wait plus pipeline run (default none). The caller's
+	// context deadline applies in addition.
+	RequestTimeout time.Duration
+	// Observer, when set, receives phase callbacks for every pipeline
+	// run the service executes (after the service's own accounting).
+	Observer pipeline.Observer[*core.Analysis]
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 128
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	return c
+}
+
+// Result is one served analysis.
+type Result struct {
+	// Analysis is the full pipeline state. Cached results share it:
+	// treat it as immutable.
+	Analysis *core.Analysis
+	// ReportJSON is the canonical (compact) report encoding,
+	// marshalled once when the run completed. Identical requests get
+	// byte-identical ReportJSON regardless of how they were served.
+	ReportJSON []byte
+	// Key is the content-addressed request key.
+	Key string
+	// Cached reports a cache hit; Coalesced reports having shared an
+	// in-flight identical run. Both false means this request ran the
+	// pipeline.
+	Cached    bool
+	Coalesced bool
+}
+
+// call is one in-flight pipeline run shared by identical requests.
+type call struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Service is a reusable, concurrency-safe analysis front end.
+// Create with New, release with Close.
+type Service struct {
+	cfg   Config
+	stats *collector
+	sem   chan struct{} // worker slots
+
+	mu     sync.Mutex
+	cache  *lruCache
+	calls  map[string]*call
+	closed bool
+
+	closeCh chan struct{}
+	wg      sync.WaitGroup // in-flight leader requests
+}
+
+// New builds a Service from the config.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:     cfg,
+		stats:   newCollector(),
+		sem:     make(chan struct{}, cfg.Workers),
+		cache:   newLRUCache(cfg.CacheEntries),
+		calls:   make(map[string]*call),
+		closeCh: make(chan struct{}),
+	}
+}
+
+// Key returns the content-addressed cache key of a request: the
+// normalized options fingerprint combined with a per-file digest of
+// every source. Any change to an option that can alter results, to a
+// path, or to a file's content changes the key.
+func Key(opts core.Options, sources map[string]string) string {
+	h := sha256.New()
+	io.WriteString(h, opts.Fingerprint())
+	paths := make([]string, 0, len(sources))
+	for p := range sources {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		digest := sha256.Sum256([]byte(sources[p]))
+		fmt.Fprintf(h, "\x00%s\x00%x", p, digest)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Analyze serves one analysis request. Identical repeats are answered
+// from the cache (Result.Cached) or coalesced onto an in-flight run
+// (Result.Coalesced); fresh work passes admission control first and
+// fails fast with an ErrOverload-kind *core.Error when the pool and
+// queue are saturated. Errors are shared with coalesced waiters but
+// never cached, so a failed request does not poison its key.
+func (s *Service) Analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
+	s.stats.requests.Add(1)
+	res, err := s.analyze(ctx, opts, sources)
+	if err != nil {
+		s.stats.errs.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
+	opts = opts.Normalize()
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sources) == 0 {
+		return nil, core.Errf(core.ErrConfig, "", "analysis request has no sources")
+	}
+	if s.cfg.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RequestTimeout)
+		defer cancel()
+	}
+	key := Key(opts, sources)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed()
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.stats.hits.Add(1)
+		hit := *res
+		hit.Cached = true
+		return &hit, nil
+	}
+	if c, ok := s.calls[key]; ok {
+		s.mu.Unlock()
+		return s.await(ctx, c)
+	}
+	c := &call{done: make(chan struct{})}
+	s.calls[key] = c
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	res, err := s.run(ctx, key, opts, sources)
+
+	s.mu.Lock()
+	delete(s.calls, key)
+	if err == nil {
+		s.cache.add(key, res)
+	}
+	s.mu.Unlock()
+	c.res, c.err = res, err
+	close(c.done)
+	s.wg.Done()
+	return res, err
+}
+
+// await joins an in-flight identical run.
+func (s *Service) await(ctx context.Context, c *call) (*Result, error) {
+	select {
+	case <-c.done:
+		if c.err != nil {
+			return nil, c.err
+		}
+		s.stats.coalesced.Add(1)
+		shared := *c.res
+		shared.Coalesced = true
+		return &shared, nil
+	case <-ctx.Done():
+		return nil, core.WrapError(core.ErrInternal, ctx.Err())
+	}
+}
+
+// run is the leader path: admission control, then the pipeline.
+func (s *Service) run(ctx context.Context, key string, opts core.Options, sources map[string]string) (*Result, error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Pool full: queue if there is room, fail fast otherwise.
+		if s.stats.queued.Add(1) > int64(s.cfg.QueueDepth) {
+			s.stats.queued.Add(-1)
+			s.stats.overloads.Add(1)
+			return nil, core.Errf(core.ErrOverload, "",
+				"analysis service overloaded: %d workers busy and queue of %d full",
+				s.cfg.Workers, s.cfg.QueueDepth)
+		}
+		t0 := time.Now()
+		select {
+		case s.sem <- struct{}{}:
+			s.stats.queued.Add(-1)
+			s.stats.recordQueueWait(time.Since(t0))
+		case <-ctx.Done():
+			s.stats.queued.Add(-1)
+			s.stats.overloads.Add(1)
+			return nil, &core.Error{
+				Kind: core.ErrOverload,
+				Msg:  fmt.Sprintf("analysis request expired after queueing %v: %v", time.Since(t0).Round(time.Millisecond), ctx.Err()),
+				Err:  ctx.Err(),
+			}
+		case <-s.closeCh:
+			s.stats.queued.Add(-1)
+			return nil, errClosed()
+		}
+	}
+	defer func() { <-s.sem }()
+
+	s.stats.misses.Add(1)
+	s.stats.inflight.Add(1)
+	defer s.stats.inflight.Add(-1)
+
+	// The service's accounting observer wraps the configured one and
+	// the leader request's own (coalesced waiters' observers do not
+	// fire — the run is shared).
+	opts.Observer = s.stats.phaseObserver(s.cfg.Observer, opts.Observer)
+	a, err := core.AnalyzeSourceContext(ctx, opts, sources)
+	if err != nil {
+		return nil, err
+	}
+	data, err := json.Marshal(a.Report)
+	if err != nil {
+		return nil, core.WrapError(core.ErrInternal, err)
+	}
+	return &Result{Analysis: a, ReportJSON: data, Key: key}, nil
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := s.stats.snapshot()
+	s.mu.Lock()
+	st.CacheEntries = s.cache.len()
+	st.CacheEvictions = s.cache.evictions
+	s.mu.Unlock()
+	return st
+}
+
+// Close rejects new requests, fails queued ones, and waits for
+// running pipelines to finish. It is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.closeCh)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func errClosed() error {
+	return core.Errf(core.ErrInternal, "", "analysis service is closed")
+}

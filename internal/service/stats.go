@@ -1,0 +1,134 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+)
+
+// PhaseTotal aggregates one pipeline phase's cost across every run
+// the service executed.
+type PhaseTotal struct {
+	Runs       uint64        `json:"runs"`
+	Wall       time.Duration `json:"wall_ns"`
+	AllocBytes int64         `json:"alloc_bytes"`
+}
+
+// Stats is a point-in-time snapshot of the service's counters and
+// gauges (the /v1/stats payload).
+type Stats struct {
+	// Requests counts every Analyze call, however it was served.
+	Requests uint64 `json:"requests"`
+	// Hits were served from the result cache without running anything.
+	Hits uint64 `json:"cache_hits"`
+	// Coalesced joined an identical in-flight run (singleflight).
+	Coalesced uint64 `json:"coalesced"`
+	// Misses ran the pipeline.
+	Misses uint64 `json:"cache_misses"`
+	// Overloads were rejected by admission control.
+	Overloads uint64 `json:"overloads"`
+	// Errors counts failed requests of any kind, overloads included.
+	Errors uint64 `json:"errors"`
+	// Inflight is the number of pipeline runs executing right now.
+	Inflight int64 `json:"inflight"`
+	// Queued is the number of requests waiting for a worker slot.
+	Queued int64 `json:"queued"`
+	// CacheEntries is the current cache population; CacheEvictions
+	// counts entries dropped to make room.
+	CacheEntries   int    `json:"cache_entries"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	// QueueWaits counts requests that had to queue; QueueWait is their
+	// cumulative wait, MaxQueueWait the single longest.
+	QueueWaits   uint64        `json:"queue_waits"`
+	QueueWait    time.Duration `json:"queue_wait_ns"`
+	MaxQueueWait time.Duration `json:"max_queue_wait_ns"`
+	// Phases aggregates per-phase cost over every pipeline run.
+	Phases map[string]PhaseTotal `json:"phases,omitempty"`
+}
+
+// collector is the service's live counter set.
+type collector struct {
+	requests, hits, coalesced, misses, overloads, errs atomic.Uint64
+	inflight, queued                                   atomic.Int64
+	queueWaits                                         atomic.Uint64
+	queueWaitNS, maxQueueWaitNS                        atomic.Int64
+
+	mu     sync.Mutex
+	phases map[string]*PhaseTotal
+}
+
+func newCollector() *collector {
+	return &collector{phases: make(map[string]*PhaseTotal)}
+}
+
+func (c *collector) recordQueueWait(d time.Duration) {
+	c.queueWaits.Add(1)
+	c.queueWaitNS.Add(int64(d))
+	for {
+		max := c.maxQueueWaitNS.Load()
+		if int64(d) <= max || c.maxQueueWaitNS.CompareAndSwap(max, int64(d)) {
+			return
+		}
+	}
+}
+
+// phaseObserver feeds per-phase totals from the pipeline's Observer
+// callbacks, then forwards to the chained observers (the service-wide
+// one and the leader request's own), either of which may be nil.
+func (c *collector) phaseObserver(next ...pipeline.Observer[*core.Analysis]) pipeline.Observer[*core.Analysis] {
+	return pipeline.ObserverFuncs[*core.Analysis]{
+		Start: func(name string, st *core.Analysis) {
+			for _, o := range next {
+				if o != nil {
+					o.PhaseStart(name, st)
+				}
+			}
+		},
+		End: func(name string, st *core.Analysis, m pipeline.PhaseMetrics) {
+			c.mu.Lock()
+			pt := c.phases[name]
+			if pt == nil {
+				pt = &PhaseTotal{}
+				c.phases[name] = pt
+			}
+			pt.Runs++
+			pt.Wall += m.Wall
+			pt.AllocBytes += m.AllocBytes
+			c.mu.Unlock()
+			for _, o := range next {
+				if o != nil {
+					o.PhaseEnd(name, st, m)
+				}
+			}
+		},
+	}
+}
+
+// snapshot copies the counters into a Stats value.
+func (c *collector) snapshot() Stats {
+	s := Stats{
+		Requests:     c.requests.Load(),
+		Hits:         c.hits.Load(),
+		Coalesced:    c.coalesced.Load(),
+		Misses:       c.misses.Load(),
+		Overloads:    c.overloads.Load(),
+		Errors:       c.errs.Load(),
+		Inflight:     c.inflight.Load(),
+		Queued:       c.queued.Load(),
+		QueueWaits:   c.queueWaits.Load(),
+		QueueWait:    time.Duration(c.queueWaitNS.Load()),
+		MaxQueueWait: time.Duration(c.maxQueueWaitNS.Load()),
+	}
+	c.mu.Lock()
+	if len(c.phases) > 0 {
+		s.Phases = make(map[string]PhaseTotal, len(c.phases))
+		for name, pt := range c.phases {
+			s.Phases[name] = *pt
+		}
+	}
+	c.mu.Unlock()
+	return s
+}

@@ -1,0 +1,75 @@
+package service
+
+import (
+	"repro/internal/core"
+)
+
+// Request is the POST /v1/analyze body.
+type Request struct {
+	// Sources maps path -> CMinor/C-subset content.
+	Sources map[string]string `json:"sources"`
+	// Options selects the analysis configuration; the zero value is
+	// the default analysis (entry "main", both region APIs).
+	Options RequestOptions `json:"options"`
+}
+
+// RequestOptions is the JSON shape of regionwiz Options — the subset
+// that travels over the wire (observers and custom API tables do
+// not).
+type RequestOptions struct {
+	// Entry is the program entry function (default "main").
+	Entry string `json:"entry,omitempty"`
+	// API selects the region interface: "apr", "rc", or "both"
+	// (default "both").
+	API string `json:"api,omitempty"`
+	// ContextCap bounds per-function context counts (default 4096).
+	ContextCap uint64 `json:"context_cap,omitempty"`
+	// HeapCloning toggles heap cloning (default true).
+	HeapCloning *bool `json:"heap_cloning,omitempty"`
+	// Backend selects the pair engine: "explicit" or "bdd"
+	// (default "explicit").
+	Backend string `json:"backend,omitempty"`
+	// KCFA switches to k-CFA call strings of this depth (0 keeps
+	// call-path numbering).
+	KCFA int `json:"kcfa,omitempty"`
+	// Entries, when present, analyzes an open program with the listed
+	// roots (empty list = every defined function).
+	Entries []string `json:"entries,omitempty"`
+	// Refine enables the def-use (Figure 5(b)) refinement.
+	Refine bool `json:"refine,omitempty"`
+	// ExtraAllocFns adds malloc-style allocator names.
+	ExtraAllocFns []string `json:"extra_alloc_fns,omitempty"`
+}
+
+// ToOptions converts the wire form to core Options, rejecting unknown
+// enum spellings with a config-kind error.
+func (ro RequestOptions) ToOptions() (core.Options, error) {
+	opts := core.Options{
+		Entry:            ro.Entry,
+		ContextCap:       ro.ContextCap,
+		HeapCloning:      ro.HeapCloning,
+		KCFA:             ro.KCFA,
+		Entries:          ro.Entries,
+		DefUseRefinement: ro.Refine,
+		ExtraAllocFns:    ro.ExtraAllocFns,
+	}
+	switch ro.API {
+	case "", "both":
+		// Normalize fills the merged default.
+	case "apr":
+		opts.API = core.APRPools()
+	case "rc":
+		opts.API = core.RCRegions()
+	default:
+		return core.Options{}, core.Errf(core.ErrConfig, "", "options: unknown api %q (want apr, rc, or both)", ro.API)
+	}
+	switch ro.Backend {
+	case "", "explicit":
+		opts.Backend = core.ExplicitBackend
+	case "bdd":
+		opts.Backend = core.BDDBackend
+	default:
+		return core.Options{}, core.Errf(core.ErrConfig, "", "options: unknown backend %q (want explicit or bdd)", ro.Backend)
+	}
+	return opts, nil
+}

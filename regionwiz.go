@@ -24,6 +24,11 @@
 // regions (rnew/ralloc) and APR pools (apr_pool_create/apr_palloc) —
 // and both can be mixed. See the examples directory for runnable
 // scenarios and package repro/regions for a runnable region runtime.
+//
+// For repeated analysis over evolving sources, the Analyzer handle
+// (New) keeps a content-addressed result cache and a bounded worker
+// pool between calls; the regionwizd command serves the same engine
+// over HTTP.
 package regionwiz
 
 import (
@@ -95,6 +100,42 @@ type Analysis = core.Analysis
 // Bool is a helper for Options.HeapCloning.
 func Bool(b bool) *bool { return core.Bool(b) }
 
+// Error is the typed failure every exported entry point returns: a
+// kind (parse, resolve, config, overload, internal), the source
+// position when known, and the wrapped cause when there is one.
+// Branch on it with errors.As, or with errors.Is against a kind-only
+// sentinel:
+//
+//	var aerr *regionwiz.Error
+//	if errors.As(err, &aerr) && aerr.Kind == regionwiz.ErrOverload { ... }
+//	if errors.Is(err, &regionwiz.Error{Kind: regionwiz.ErrOverload}) { ... }
+//
+// Message text matches the untyped errors of earlier releases.
+type Error = core.Error
+
+// ErrorKind classifies an Error.
+type ErrorKind = core.ErrorKind
+
+// Error kinds.
+const (
+	// ErrInternal is an unexpected analyzer failure, including context
+	// cancellation (which stays reachable through errors.Is).
+	ErrInternal = core.ErrInternal
+	// ErrParse is a front-end (lex/parse/typecheck) rejection.
+	ErrParse = core.ErrParse
+	// ErrResolve means a named analysis root does not exist.
+	ErrResolve = core.ErrResolve
+	// ErrConfig is an invalid Options value or request shape.
+	ErrConfig = core.ErrConfig
+	// ErrOverload is an admission-control rejection from an Analyzer
+	// or regionwizd under load.
+	ErrOverload = core.ErrOverload
+)
+
+// ReportSchemaV1 identifies the report JSON encoding emitted by
+// Report.MarshalJSON and the regionwizd /v1/analyze endpoint.
+const ReportSchemaV1 = core.ReportSchemaV1
+
 // AnalyzeSource analyzes CMinor/C-subset sources given as
 // path -> content pairs and returns the full analysis state.
 func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
@@ -124,15 +165,31 @@ func AnalyzeFiles(opts Options, paths ...string) (*Analysis, error) {
 }
 
 // AnalyzeFilesContext is AnalyzeFiles under a context (see
-// AnalyzeSourceContext).
+// AnalyzeSourceContext). Two paths that clean to the same file are an
+// ErrConfig error — one source silently overwriting the other never
+// is what the caller meant.
 func AnalyzeFilesContext(ctx context.Context, opts Options, paths ...string) (*Analysis, error) {
-	sources := make(map[string]string, len(paths))
-	for _, p := range paths {
-		b, err := os.ReadFile(p)
-		if err != nil {
-			return nil, err
-		}
-		sources[filepath.Clean(p)] = string(b)
+	sources, err := readSourceFiles(paths)
+	if err != nil {
+		return nil, err
 	}
 	return core.AnalyzeSourceContext(ctx, opts, sources)
+}
+
+// readSourceFiles loads path->content pairs for analysis, rejecting
+// paths that collide after filepath.Clean and typing read failures.
+func readSourceFiles(paths []string) (map[string]string, error) {
+	sources := make(map[string]string, len(paths))
+	for _, p := range paths {
+		clean := filepath.Clean(p)
+		if _, dup := sources[clean]; dup {
+			return nil, core.Errf(core.ErrConfig, "", "duplicate source path %q (cleans to %q)", p, clean)
+		}
+		b, err := os.ReadFile(p)
+		if err != nil {
+			return nil, core.WrapError(core.ErrConfig, err)
+		}
+		sources[clean] = string(b)
+	}
+	return sources, nil
 }
