@@ -7,11 +7,15 @@
 //
 //	regionbench -table 7|8|11|all [-seed N] [-scale small|paper]
 //	regionbench -json out.json [-jobs N]
+//	regionbench ... [-backend explicit|bdd] [-bdd-node-size N] [-bdd-cache-ratio N]
 //
 // The -json mode analyzes every executable of the corpus through a
 // bounded worker pool and writes per-phase, per-workload timings as a
 // stable JSON document (schema regionbench/phase-timings/v1) suitable
-// for trajectory tracking across commits.
+// for trajectory tracking across commits. With -backend bdd the pairs
+// phase runs on the BDD engine and its Outputs include the kernel
+// counters (bdd_cache_hits, bdd_cache_misses, bdd_unique_collisions,
+// bdd_table_grows), making the -json document a kernel-tuning probe.
 package main
 
 import (
@@ -23,10 +27,15 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 	"repro/internal/workloads"
 )
+
+// benchOpts is the analysis configuration selected by the backend and
+// kernel flags, shared by the table and -json drivers.
+var benchOpts core.Options
 
 func main() {
 	table := flag.String("table", "all", "which table to print: 7, 8, 11, or all")
@@ -34,7 +43,21 @@ func main() {
 	scale := flag.String("scale", "paper", "corpus scale: small or paper")
 	jsonPath := flag.String("json", "", "write per-phase, per-workload timings as JSON to this file")
 	jobs := flag.Int("jobs", 0, "number of executables analyzed concurrently in -json mode (0 = GOMAXPROCS)")
+	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
+	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
+	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
 	flag.Parse()
+
+	switch *backend {
+	case "explicit":
+		benchOpts.Backend = core.ExplicitBackend
+	case "bdd":
+		benchOpts.Backend = core.BDDBackend
+	default:
+		fmt.Fprintf(os.Stderr, "regionbench: unknown -backend %q (want explicit or bdd)\n", *backend)
+		os.Exit(2)
+	}
+	benchOpts.BDD = bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio}
 
 	var specs []workloads.Spec
 	switch *scale {
@@ -122,7 +145,7 @@ func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string,
 	}
 	results := pipeline.RunCorpus(context.Background(), jobsIn, jobs,
 		func(ctx context.Context, j job) (*core.Analysis, error) {
-			return core.AnalyzeSourceContext(ctx, core.Options{}, j.pkg.SourcesFor(j.exe))
+			return core.AnalyzeSourceContext(ctx, benchOpts, j.pkg.SourcesFor(j.exe))
 		})
 	doc := benchDoc{
 		Schema: "regionbench/phase-timings/v1",
@@ -164,7 +187,7 @@ func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string,
 }
 
 func analyze(pkg *workloads.Package, exe workloads.Exe) (*core.Analysis, error) {
-	return core.AnalyzeSource(core.Options{}, pkg.SourcesFor(exe))
+	return core.AnalyzeSource(benchOpts, pkg.SourcesFor(exe))
 }
 
 func printFigure7(pkgs []*workloads.Package) {

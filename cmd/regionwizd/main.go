@@ -26,6 +26,10 @@
 //	-queue-depth N        waiting requests beyond the pool (default 64)
 //	-cache-entries N      LRU result cache size (default 128; -1 disables)
 //	-request-timeout D    per-request deadline, queue wait included (default 2m)
+//	-bdd-node-size N      initial BDD node-table capacity for bdd-backend
+//	                      runs (0 = kernel default, 8192)
+//	-bdd-cache-ratio N    BDD node-table slots per op-cache slot
+//	                      (0 = kernel default, 1)
 package main
 
 import (
@@ -40,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/service"
 )
 
@@ -51,6 +56,8 @@ func run() int {
 	queueDepth := flag.Int("queue-depth", 64, "waiting requests beyond the worker pool")
 	cacheEntries := flag.Int("cache-entries", 128, "LRU result cache size (-1 disables caching)")
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
+	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for bdd-backend runs (0 = kernel default)")
+	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
 	flag.Parse()
 
 	svc := service.New(service.Config{
@@ -58,6 +65,7 @@ func run() int {
 		QueueDepth:     *queueDepth,
 		CacheEntries:   *cacheEntries,
 		RequestTimeout: *requestTimeout,
+		BDD:            bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio},
 	})
 	server := &http.Server{
 		Addr:              *addr,

@@ -3,12 +3,16 @@
 //
 // It is a from-scratch substitute for the BuDDy package the paper's
 // RegionWiz prototype used to store context-sensitive relations
-// (Section 5.2). Nodes are hash-consed in a unique table, so structural
-// equality of BDDs is pointer (index) equality. All boolean operations
-// are memoized.
+// (Section 5.2), and since the kernel rewrite it follows BuDDy's
+// hot-path design: nodes are hash-consed in a flat array with an
+// intrusive chained hash (table.go), all operations are memoized in
+// fixed-size lossy caches (cache.go), and both structures are sized by
+// a Config (config.go) so daemon operators can tune the kernel to the
+// corpus. Structural equality of BDDs is index equality.
 //
-// The package is deliberately stdlib-only and single-threaded; a Manager
-// must not be shared between goroutines without external locking.
+// The package is deliberately stdlib-only and single-threaded; a
+// Manager must not be shared between goroutines without external
+// locking.
 package bdd
 
 import (
@@ -28,15 +32,6 @@ const (
 	True  Node = 1
 )
 
-// node is one entry of the node table. level is the variable index
-// (smaller level = closer to the root, tested first). Terminals carry
-// level == terminalLevel so comparisons against them always favour
-// internal nodes.
-type node struct {
-	level     int32
-	low, high Node
-}
-
 const terminalLevel = math.MaxInt32
 
 // opcode identifies a binary boolean operation for the memo cache.
@@ -51,63 +46,66 @@ const (
 	opBiimp
 )
 
-type cacheKey struct {
-	op   opcode
-	a, b Node
-}
-
-type quantKey struct {
-	op   opcode // opAnd for relprod, opOr unused
-	a, b Node
-	cube Node
-}
-
-type replaceKey struct {
-	n   Node
-	gen uint32 // generation of the replacement map
-}
-
 // Manager owns a node table and the operation caches. Create one with
-// New, allocate variables with AddVar or domains with NewDomain, and
-// build functions with Var, Not, And, Or, etc.
+// New or NewWith, allocate variables with AddVar or domains with
+// NewDomain, and build functions with Var, Not, And, Or, etc.
 type Manager struct {
-	nodes  []node
-	unique map[node]Node
+	cfg Config
 
-	binCache     map[cacheKey]Node
-	notCache     map[Node]Node
-	existsCache  map[quantKey]Node
-	andExCache   map[quantKey]Node
-	replaceCache map[replaceKey]Node
-	satCache     map[Node]float64
+	// The node table (see table.go): nodes[0:free] are live, mask is
+	// len(nodes)-1 for bucket indexing.
+	nodes []node
+	free  int32
+	mask  uint32
 
-	// replacement map state for Replace; gen invalidates the cache
-	// whenever the map changes.
+	// Operation caches (see cache.go), one array per operation family.
+	applyCache   binCache
+	notCache     tripleCache
+	iteCache     tripleCache
+	existsCache  tripleCache
+	andExCache   tripleCache
+	replaceCache tripleCache
+	satRecCache  satCache
+
+	// Replacement state for Replace: the currently loaded VarMap and
+	// its dense level map. Cache entries are keyed by VarMap identity,
+	// so switching maps invalidates nothing.
 	replMap []int32
-	replGen uint32
+	replVm  *VarMap
+	vmSeq   int32
 
 	numVars int
 
 	domains []*Domain
+
+	// Kernel counters, surfaced via Stats.
+	cacheHits        uint64
+	cacheMisses      uint64
+	uniqueCollisions uint64
+	grows            uint64
 }
 
-// New returns a Manager with no variables. Variables are added with
-// AddVar/AddVars or implicitly through NewDomain.
-func New() *Manager {
+// New returns a Manager with default sizing and no variables.
+// Variables are added with AddVar/AddVars or implicitly through
+// NewDomain.
+func New() *Manager { return NewWith(Config{}) }
+
+// NewWith returns a Manager sized by the config (see Config for the
+// knobs; the zero value selects defaults).
+func NewWith(cfg Config) *Manager {
+	cfg = cfg.normalized()
+	slots := cfg.cacheSlots()
 	m := &Manager{
-		unique:       make(map[node]Node, 1024),
-		binCache:     make(map[cacheKey]Node, 4096),
-		notCache:     make(map[Node]Node, 1024),
-		existsCache:  make(map[quantKey]Node, 1024),
-		andExCache:   make(map[quantKey]Node, 1024),
-		replaceCache: make(map[replaceKey]Node, 1024),
-		satCache:     make(map[Node]float64, 256),
+		cfg:          cfg,
+		applyCache:   newBinCache(slots),
+		notCache:     newTripleCache(slots),
+		iteCache:     newTripleCache(slots),
+		existsCache:  newTripleCache(slots),
+		andExCache:   newTripleCache(slots),
+		replaceCache: newTripleCache(slots),
+		satRecCache:  newSatCache(slots),
 	}
-	// Install the two terminals at indices 0 and 1.
-	m.nodes = append(m.nodes,
-		node{level: terminalLevel, low: False, high: False},
-		node{level: terminalLevel, low: True, high: True},
-	)
+	m.initTable(cfg.NodeSize)
 	return m
 }
 
@@ -116,27 +114,55 @@ func (m *Manager) NumVars() int { return m.numVars }
 
 // NumNodes reports the number of live entries in the node table,
 // including the two terminals.
-func (m *Manager) NumNodes() int { return len(m.nodes) }
+func (m *Manager) NumNodes() int { return int(m.free) }
 
-// ManagerStats is a snapshot of the manager's footprint, exposed for
-// pipeline metrics and benchmarks.
+// ManagerStats is a snapshot of the manager's footprint and kernel
+// counters, exposed for pipeline metrics and benchmarks.
 type ManagerStats struct {
-	// Nodes is the node-table size (including terminals).
-	Nodes int
+	// Nodes is the live node count (including terminals); Capacity is
+	// the allocated node-table size.
+	Nodes    int
+	Capacity int
 	// Vars is the number of allocated boolean variables.
 	Vars int
-	// CacheEntries sums the entries across all operation caches.
-	CacheEntries int
+	// CacheSlots is the per-cache slot count.
+	CacheSlots int
+	// CacheHits and CacheMisses count operation-cache lookups across
+	// all op caches (a miss is a recomputation).
+	CacheHits, CacheMisses uint64
+	// UniqueCollisions counts extra probes on the node table's hash
+	// chains — the mk-path collision cost.
+	UniqueCollisions uint64
+	// Grows counts node-table doublings since creation.
+	Grows uint64
 }
 
-// Stats reports the manager's current footprint.
+// Stats reports the manager's current footprint and counters.
 func (m *Manager) Stats() ManagerStats {
 	return ManagerStats{
-		Nodes: len(m.nodes),
-		Vars:  m.numVars,
-		CacheEntries: len(m.binCache) + len(m.notCache) + len(m.existsCache) +
-			len(m.andExCache) + len(m.replaceCache) + len(m.satCache),
+		Nodes:            int(m.free),
+		Capacity:         len(m.nodes),
+		Vars:             m.numVars,
+		CacheSlots:       len(m.applyCache.entries),
+		CacheHits:        m.cacheHits,
+		CacheMisses:      m.cacheMisses,
+		UniqueCollisions: m.uniqueCollisions,
+		Grows:            m.grows,
 	}
+}
+
+// ClearCaches drops every operation-cache entry in O(1) (generation
+// bump; no memory is released). The node table is untouched, so all
+// Nodes stay valid — this only forces recomputation, e.g. between
+// benchmark runs.
+func (m *Manager) ClearCaches() {
+	m.applyCache.clear()
+	m.notCache.clear()
+	m.iteCache.clear()
+	m.existsCache.clear()
+	m.andExCache.clear()
+	m.replaceCache.clear()
+	m.satRecCache.clear()
 }
 
 // AddVar allocates one fresh boolean variable and returns its index.
@@ -151,22 +177,6 @@ func (m *Manager) AddVars(n int) int {
 	v := m.numVars
 	m.numVars += n
 	return v
-}
-
-// mk returns the hash-consed node (level, low, high), applying the
-// standard reduction rule low==high => low.
-func (m *Manager) mk(level int32, low, high Node) Node {
-	if low == high {
-		return low
-	}
-	key := node{level: level, low: low, high: high}
-	if n, ok := m.unique[key]; ok {
-		return n
-	}
-	n := Node(len(m.nodes))
-	m.nodes = append(m.nodes, key)
-	m.unique[key] = n
-	return n
 }
 
 // Var returns the BDD for the single variable v.
@@ -211,12 +221,14 @@ func (m *Manager) Not(n Node) Node {
 	case True:
 		return False
 	}
-	if r, ok := m.notCache[n]; ok {
+	if r, ok := m.notCache.lookup(n, 0, 0); ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	nd := m.nodes[n]
 	r := m.mk(nd.level, m.Not(nd.low), m.Not(nd.high))
-	m.notCache[n] = r
+	m.notCache.store(n, 0, 0, r)
 	return r
 }
 
@@ -347,14 +359,14 @@ func (m *Manager) apply(op opcode, a, b Node) Node {
 	if r, ok := terminalCase(op, a, b); ok {
 		return r
 	}
-	ka, kb := a, b
-	if commutative(op) && ka > kb {
-		ka, kb = kb, ka
+	if commutative(op) && a > b {
+		a, b = b, a
 	}
-	key := cacheKey{op, ka, kb}
-	if r, ok := m.binCache[key]; ok {
+	if r, ok := m.applyCache.lookup(op, a, b); ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	var level int32
 	var a0, a1, b0, b1 Node
@@ -367,13 +379,54 @@ func (m *Manager) apply(op opcode, a, b Node) Node {
 		level, a0, a1, b0, b1 = nb.level, a, a, nb.low, nb.high
 	}
 	r := m.mk(level, m.apply(op, a0, b0), m.apply(op, a1, b1))
-	m.binCache[key] = r
+	m.applyCache.store(op, a, b, r)
 	return r
 }
 
-// Ite returns if-then-else: (f AND g) OR (NOT f AND h).
+// Ite returns if-then-else: (f AND g) OR (NOT f AND h), computed as
+// one cached three-operand recursion (BuDDy's bdd_ite) instead of
+// composing Or/And/Not.
 func (m *Manager) Ite(f, g, h Node) Node {
-	return m.Or(m.And(f, g), m.And(m.Not(f), h))
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	if r, ok := m.iteCache.lookup(f, g, h); ok {
+		m.cacheHits++
+		return r
+	}
+	m.cacheMisses++
+	nf, ng, nh := m.nodes[f], m.nodes[g], m.nodes[h]
+	level := nf.level
+	if ng.level < level {
+		level = ng.level
+	}
+	if nh.level < level {
+		level = nh.level
+	}
+	f0, f1 := f, f
+	if nf.level == level {
+		f0, f1 = nf.low, nf.high
+	}
+	g0, g1 := g, g
+	if ng.level == level {
+		g0, g1 = ng.low, ng.high
+	}
+	h0, h1 := h, h
+	if nh.level == level {
+		h0, h1 = nh.low, nh.high
+	}
+	r := m.mk(level, m.Ite(f0, g0, h0), m.Ite(f1, g1, h1))
+	m.iteCache.store(f, g, h, r)
+	return r
 }
 
 // Cube returns the conjunction of the given variables, used as the
@@ -393,17 +446,18 @@ func (m *Manager) Exists(n, cube Node) Node {
 	if n == False || n == True || cube == True {
 		return n
 	}
-	key := quantKey{op: opOr, a: n, cube: cube}
-	if r, ok := m.existsCache[key]; ok {
+	if r, ok := m.existsCache.lookup(n, cube, 0); ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	nn := m.nodes[n]
 	// Advance the cube past variables above n's root.
 	c := cube
 	for m.nodes[c].level < nn.level {
 		c = m.nodes[c].high
 		if c == True {
-			m.existsCache[key] = n
+			m.existsCache.store(n, cube, 0, n)
 			return n
 		}
 	}
@@ -414,7 +468,7 @@ func (m *Manager) Exists(n, cube Node) Node {
 	} else {
 		r = m.mk(nn.level, m.Exists(nn.low, c), m.Exists(nn.high, c))
 	}
-	m.existsCache[key] = r
+	m.existsCache.store(n, cube, 0, r)
 	return r
 }
 
@@ -437,14 +491,14 @@ func (m *Manager) AndExists(a, b, cube Node) Node {
 	if b == True {
 		return m.Exists(a, cube)
 	}
-	ka, kb := a, b
-	if ka > kb {
-		ka, kb = kb, ka
+	if a > b {
+		a, b = b, a
 	}
-	key := quantKey{op: opAnd, a: ka, b: kb, cube: cube}
-	if r, ok := m.andExCache[key]; ok {
+	if r, ok := m.andExCache.lookup(a, b, cube); ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	na, nb := m.nodes[a], m.nodes[b]
 	level := na.level
 	if nb.level < level {
@@ -469,45 +523,50 @@ func (m *Manager) AndExists(a, b, cube Node) Node {
 	} else {
 		r = m.mk(level, m.AndExists(a0, b0, c), m.AndExists(a1, b1, c))
 	}
-	m.andExCache[key] = r
+	m.andExCache.store(a, b, cube, r)
 	return r
 }
 
 // Replace renames variables of n according to map from[i] -> to[i].
 // The mapping must be order-preserving on the support of n (mapping a
 // variable to one at a different relative position among mapped
-// variables is rejected at construction in NewVarMap).
+// variables is rejected at construction in NewVarMap). Results are
+// memoized per VarMap, so reusing one VarMap across calls hits the
+// cache.
 func (m *Manager) Replace(n Node, vm *VarMap) Node {
 	if vm.m != m {
 		panic("bdd: VarMap used with wrong Manager")
 	}
-	if len(m.replMap) != m.numVars {
-		m.replMap = make([]int32, m.numVars)
+	if m.replVm != vm || len(m.replMap) != m.numVars {
+		if len(m.replMap) != m.numVars {
+			m.replMap = make([]int32, m.numVars)
+		}
+		for i := range m.replMap {
+			m.replMap[i] = int32(i)
+		}
+		for i, from := range vm.from {
+			m.replMap[from] = int32(vm.to[i])
+		}
+		m.replVm = vm
 	}
-	for i := range m.replMap {
-		m.replMap[i] = int32(i)
-	}
-	for i, from := range vm.from {
-		m.replMap[from] = int32(vm.to[i])
-	}
-	m.replGen++
-	return m.replaceRec(n)
+	return m.replaceRec(n, Node(vm.id))
 }
 
-func (m *Manager) replaceRec(n Node) Node {
+func (m *Manager) replaceRec(n, id Node) Node {
 	if n == False || n == True {
 		return n
 	}
-	key := replaceKey{n: n, gen: m.replGen}
-	if r, ok := m.replaceCache[key]; ok {
+	if r, ok := m.replaceCache.lookup(n, id, 0); ok {
+		m.cacheHits++
 		return r
 	}
+	m.cacheMisses++
 	nd := m.nodes[n]
-	low := m.replaceRec(nd.low)
-	high := m.replaceRec(nd.high)
+	low := m.replaceRec(nd.low, id)
+	high := m.replaceRec(nd.high, id)
 	nl := m.replMap[nd.level]
 	r := m.correctify(nl, low, high)
-	m.replaceCache[key] = r
+	m.replaceCache.store(n, id, 0, r)
 	return r
 }
 
@@ -539,9 +598,12 @@ func (m *Manager) correctify(level int32, low, high Node) Node {
 	return m.mk(top, m.correctify(level, l0, h0), m.correctify(level, l1, h1))
 }
 
-// VarMap is a variable renaming prepared for Manager.Replace.
+// VarMap is a variable renaming prepared for Manager.Replace. Each
+// VarMap has a distinct identity in the replace cache, so renames
+// through a reused VarMap are memoized across Replace calls.
 type VarMap struct {
 	m        *Manager
+	id       int32
 	from, to []int
 }
 
@@ -563,13 +625,14 @@ func (m *Manager) NewVarMap(from, to []int) *VarMap {
 			}
 		}
 	}
-	return &VarMap{m: m, from: append([]int(nil), from...), to: append([]int(nil), to...)}
+	m.vmSeq++
+	return &VarMap{m: m, id: m.vmSeq, from: append([]int(nil), from...), to: append([]int(nil), to...)}
 }
 
 // SatCount returns the number of satisfying assignments of n over all
 // allocated variables.
 func (m *Manager) SatCount(n Node) float64 {
-	return m.satCountRec(n) * math.Pow(2, float64(m.levelOf(n)))
+	return math.Ldexp(m.satCountRec(n), m.levelOf(n))
 }
 
 func (m *Manager) levelOf(n Node) int {
@@ -582,6 +645,8 @@ func (m *Manager) levelOf(n Node) int {
 
 // satCountRec counts assignments over variables strictly below n's root
 // level, normalized so multiplying by 2^rootLevel gives the full count.
+// Scaling uses Ldexp (exact exponent manipulation) rather than
+// math.Pow, which keeps counts over >64 variables cheap and precise.
 func (m *Manager) satCountRec(n Node) float64 {
 	if n == False {
 		return 0
@@ -589,14 +654,14 @@ func (m *Manager) satCountRec(n Node) float64 {
 	if n == True {
 		return 1
 	}
-	if c, ok := m.satCache[n]; ok {
+	if c, ok := m.satRecCache.lookup(n); ok {
 		return c
 	}
 	nd := m.nodes[n]
-	low := m.satCountRec(nd.low) * math.Pow(2, float64(m.levelOf(nd.low)-int(nd.level)-1))
-	high := m.satCountRec(nd.high) * math.Pow(2, float64(m.levelOf(nd.high)-int(nd.level)-1))
+	low := math.Ldexp(m.satCountRec(nd.low), m.levelOf(nd.low)-int(nd.level)-1)
+	high := math.Ldexp(m.satCountRec(nd.high), m.levelOf(nd.high)-int(nd.level)-1)
 	c := low + high
-	m.satCache[n] = c
+	m.satRecCache.store(n, c)
 	return c
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sort"
 
+	"repro/internal/bdd"
 	"repro/internal/callgraph"
 	"repro/internal/cminor"
 	"repro/internal/contexts"
@@ -71,6 +72,11 @@ type Options struct {
 	// (logging, benchmarking, progress reporting). Phase metrics are
 	// additionally recorded in Report.Stats.Phases regardless.
 	Observer pipeline.Observer[*Analysis]
+	// BDD sizes the BDD kernel's node table and operation caches when
+	// the BDD backend runs (the zero value selects the kernel
+	// defaults). Like Observer it cannot change analysis results —
+	// only time and memory — so it is excluded from Fingerprint.
+	BDD bdd.Config
 }
 
 // prepare normalizes and validates options at an Analyze* boundary.
@@ -121,8 +127,10 @@ type Analysis struct {
 	// phase), condensed by the post phase.
 	pairs []ObjectPair
 	// bddNodes/bddTuples record the BDD backend's final node-table
-	// and relation sizes (zero for the explicit backend).
+	// and relation sizes (zero for the explicit backend); bddStats
+	// snapshots the kernel's cache/table counters.
 	bddNodes, bddTuples int64
+	bddStats            bdd.ManagerStats
 
 	// Metrics is the per-phase cost breakdown of the run, including
 	// phases that ran before an error aborted the pipeline.
@@ -206,6 +214,7 @@ func (a *Analysis) pointerConfig() pointer.Config {
 		ReturnArgFns: map[string]int{"memcpy": 0, "memset": 0, "strcpy": 0, "strcat": 0, "memmove": 0},
 		HeapCloning:  *a.Opts.HeapCloning,
 		EntryParams:  len(a.Opts.Entries) > 0,
+		BDD:          a.Opts.BDD,
 	}
 	for _, fn := range a.Opts.ExtraAllocFns {
 		cfg.AllocFns[fn] = true

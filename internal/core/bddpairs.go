@@ -21,7 +21,7 @@ func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
 	if len(a.AccessEdges) == 0 {
 		return nil
 	}
-	p := datalog.NewProgram()
+	p := datalog.NewProgramConfig(a.Opts.BDD)
 	nR := uint64(len(a.Regions))
 	nO := uint64(len(a.Ptr.Objects))
 	// Offsets are interned into a dense domain.
@@ -95,10 +95,12 @@ func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
 			datalog.T(access, "o1", "n", "o2")),
 	}, 0)
 
-	// Expose the engine's final footprint to the pipeline metrics
-	// (the pairs phase reports them as bdd_nodes / datalog_tuples).
+	// Expose the engine's final footprint and kernel counters to the
+	// pipeline metrics (the pairs phase reports them as bdd_nodes /
+	// datalog_tuples / bdd_cache_* keys).
 	a.bddNodes = int64(p.NodeCount())
 	a.bddTuples = int64(p.TupleCount())
+	a.bddStats = p.M.Stats()
 
 	var out []ObjectPair
 	objectPair.Each(func(t []uint64) bool {

@@ -89,9 +89,10 @@ func sortedUnique(in []string) []string {
 // Fingerprint returns a stable hex digest of the normalized options —
 // every field that can change an analysis result (entry roots, API
 // specs, context configuration, backend, refinements, extern models).
-// Observer is excluded: it watches a run but cannot alter it. Together
-// with per-file source digests this keys the analysis service's result
-// cache.
+// Observer is excluded: it watches a run but cannot alter it. BDD is
+// excluded for the same reason: kernel sizing changes time and memory,
+// never results. Together with per-file source digests this keys the
+// analysis service's result cache.
 func (o Options) Fingerprint() string {
 	o = o.Normalize()
 	h := sha256.New()

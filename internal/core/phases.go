@@ -221,6 +221,10 @@ func (a *Analysis) RelationSizes() map[string]int64 {
 	if a.bddNodes > 0 {
 		s["bdd_nodes"] = a.bddNodes
 		s["datalog_tuples"] = a.bddTuples
+		s["bdd_cache_hits"] = int64(a.bddStats.CacheHits)
+		s["bdd_cache_misses"] = int64(a.bddStats.CacheMisses)
+		s["bdd_unique_collisions"] = int64(a.bddStats.UniqueCollisions)
+		s["bdd_table_grows"] = int64(a.bddStats.Grows)
 	}
 	if a.Report != nil {
 		s["instruction_pairs"] = int64(a.Report.Stats.IPairs)

@@ -316,3 +316,22 @@ func TestSolveRoundCount(t *testing.T) {
 		t.Fatalf("path count = %d, want %d", path.Count(), 41*40/2)
 	}
 }
+
+func TestCountManyFreeVariables(t *testing.T) {
+	// A 16-bit domain allocates its instance batches (schema + scratch)
+	// in one interleaved block of well over 64 variables, so Count on a
+	// single-column relation divides SatCount by 2^free with free > 64
+	// — exercising the exact power-of-two scaling.
+	p := NewProgram()
+	d := p.Domain("A", 1<<16)
+	r := p.Relation("r", d.At(0))
+	r.Add(0)
+	r.Add(12345)
+	r.Add(65535)
+	if free := p.M.NumVars() - 16; free <= 64 {
+		t.Fatalf("expected more than 64 free variables, got %d", free)
+	}
+	if got := r.Count(); got != 3 {
+		t.Fatalf("Count = %d, want 3", got)
+	}
+}

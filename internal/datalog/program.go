@@ -22,14 +22,25 @@ type Program struct {
 	domains map[string]*LogicalDomain
 	order   []*LogicalDomain
 	rels    map[string]*Relation
+	// renames caches the per-(src,dst) rename apparatus (relation.go);
+	// env is the reusable rule-evaluation scratch (rule.go).
+	renames map[renameKey]renameOps
+	env     *evalEnv
 }
 
-// NewProgram returns an empty program with a fresh BDD manager.
-func NewProgram() *Program {
+// NewProgram returns an empty program with a default-sized BDD
+// manager.
+func NewProgram() *Program { return NewProgramConfig(bdd.Config{}) }
+
+// NewProgramConfig returns an empty program whose BDD manager is sized
+// by cfg (the zero value selects the kernel defaults). Kernel sizing
+// never changes solve results, only time and memory.
+func NewProgramConfig(cfg bdd.Config) *Program {
 	return &Program{
-		M:       bdd.New(),
+		M:       bdd.NewWith(cfg),
 		domains: make(map[string]*LogicalDomain),
 		rels:    make(map[string]*Relation),
+		renames: make(map[renameKey]renameOps),
 	}
 }
 

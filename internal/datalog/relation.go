@@ -117,9 +117,10 @@ func (r *Relation) Count() uint64 {
 	}
 	total := r.p.M.SatCount(r.node)
 	// SatCount ranges over every allocated variable; divide out the
-	// unconstrained ones.
+	// unconstrained ones. Ldexp scales by an exact power of two, so the
+	// division stays precise even past 64 free variables.
 	free := r.p.M.NumVars() - bits
-	return uint64(math.Round(total / math.Pow(2, float64(free))))
+	return uint64(math.Round(math.Ldexp(total, -free)))
 }
 
 // Each enumerates tuples in an unspecified order. Return false from fn
@@ -178,12 +179,30 @@ func (r *Relation) Tuples() [][]uint64 {
 	return out
 }
 
+// renameKey identifies one (src instance → dst instance) rename; the
+// apparatus below is deterministic per key, so the program caches it.
+type renameKey struct{ src, dst *bdd.Domain }
+
+// renameOps is the cached constraint apparatus of one rename: the
+// src==dst equality BDD and the src quantification cube. BDD nodes are
+// stable indices, so the cache never needs invalidation.
+type renameOps struct{ eq, cube bdd.Node }
+
 // renameInstance moves one column of n from physical instance src to
 // dst using a constraint-based rename (robust against any variable
-// order): result = exists src. (n AND src==dst).
-func renameInstance(m *bdd.Manager, n bdd.Node, src, dst *bdd.Domain) bdd.Node {
+// order): result = exists src. (n AND src==dst). The equality and cube
+// BDDs are built once per (src, dst) pair and reused — rule evaluation
+// renames every atom column on every derive call, so rebuilding them
+// each time dominated rule setup cost.
+func (p *Program) renameInstance(n bdd.Node, src, dst *bdd.Domain) bdd.Node {
 	if src == dst {
 		return n
 	}
-	return m.AndExists(n, src.EqDomain(dst), src.Cube())
+	key := renameKey{src, dst}
+	ops, ok := p.renames[key]
+	if !ok {
+		ops = renameOps{eq: src.EqDomain(dst), cube: src.Cube()}
+		p.renames[key] = ops
+	}
+	return p.M.AndExists(n, ops.eq, ops.cube)
 }

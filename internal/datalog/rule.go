@@ -122,6 +122,20 @@ func newEvalEnv(p *Program) *evalEnv {
 	return &evalEnv{p: p, insts: make(map[string]*bdd.Domain), next: make(map[*LogicalDomain]int)}
 }
 
+// evalScratch returns the program's reusable evaluation environment,
+// reset for a fresh derivation. derive runs on the single-threaded
+// manager, so one scratch env per program suffices; reusing it avoids
+// two map allocations per rule evaluation inside solver fixpoints.
+func (p *Program) evalScratch() *evalEnv {
+	if p.env == nil {
+		p.env = newEvalEnv(p)
+		return p.env
+	}
+	clear(p.env.insts)
+	clear(p.env.next)
+	return p.env
+}
+
 func (e *evalEnv) instance(v string, d *LogicalDomain) *bdd.Domain {
 	if inst, ok := e.insts[v]; ok {
 		return inst
@@ -153,7 +167,7 @@ func (r *Rule) atomBDD(env *evalEnv, t Term, override *bdd.Node) bdd.Node {
 			continue
 		}
 		target := env.instance(v, t.Rel.attrs[i].Dom)
-		n = renameInstance(m, n, inst, target)
+		n = env.p.renameInstance(n, inst, target)
 	}
 	if quantify != bdd.True {
 		n = m.Exists(n, quantify)
@@ -180,7 +194,7 @@ func (p *Program) Apply(r *Rule) bool {
 // relation's full contents (semi-naive evaluation).
 func (p *Program) derive(r *Rule, deltaIdx int, delta bdd.Node) bdd.Node {
 	m := p.M
-	env := newEvalEnv(p)
+	env := p.evalScratch()
 	acc := bdd.True
 	for i, t := range r.Body {
 		if t.Neg {

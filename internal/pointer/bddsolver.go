@@ -295,7 +295,7 @@ func AnalyzeBDD(n *contexts.Numbering, cfg Config) *BDDResult {
 	}
 
 	// --- the datalog program ---
-	p := datalog.NewProgram()
+	p := datalog.NewProgramConfig(cfg.BDD)
 	V := p.Domain("V", uint64(len(varList)))
 	H := p.Domain("H", uint64(len(locList)))
 	F := p.Domain("F", uint64(len(offList)))

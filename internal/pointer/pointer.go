@@ -17,6 +17,7 @@ package pointer
 import (
 	"sort"
 
+	"repro/internal/bdd"
 	"repro/internal/contexts"
 	"repro/internal/ir"
 )
@@ -85,6 +86,9 @@ type Config struct {
 	EntryParams bool
 	// MaxRounds bounds fixpoint iterations (0 = unlimited).
 	MaxRounds int
+	// BDD sizes the BDD kernel used by AnalyzeBDD (ignored by the
+	// explicit solver). Sizing never changes results.
+	BDD bdd.Config
 }
 
 // varKey identifies a variable in a context.

@@ -32,6 +32,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/pipeline"
 )
@@ -54,6 +55,11 @@ type Config struct {
 	// Observer, when set, receives phase callbacks for every pipeline
 	// run the service executes (after the service's own accounting).
 	Observer pipeline.Observer[*core.Analysis]
+	// BDD is the default BDD kernel sizing applied to requests that do
+	// not set their own (the zero value keeps the kernel defaults).
+	// Kernel sizing never changes results, so it does not enter cache
+	// keys.
+	BDD bdd.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -166,6 +172,9 @@ func (s *Service) Analyze(ctx context.Context, opts core.Options, sources map[st
 
 func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
 	opts = opts.Normalize()
+	if opts.BDD == (bdd.Config{}) {
+		opts.BDD = s.cfg.BDD
+	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"repro/internal/bdd"
 	"repro/internal/core"
 )
 
@@ -39,6 +40,11 @@ type RequestOptions struct {
 	Refine bool `json:"refine,omitempty"`
 	// ExtraAllocFns adds malloc-style allocator names.
 	ExtraAllocFns []string `json:"extra_alloc_fns,omitempty"`
+	// BDDNodeSize / BDDCacheRatio tune the BDD kernel when the bdd
+	// backend runs (0 = service default). Kernel sizing never changes
+	// results, so these do not affect the cache key.
+	BDDNodeSize   int `json:"bdd_node_size,omitempty"`
+	BDDCacheRatio int `json:"bdd_cache_ratio,omitempty"`
 }
 
 // ToOptions converts the wire form to core Options, rejecting unknown
@@ -52,6 +58,7 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		Entries:          ro.Entries,
 		DefUseRefinement: ro.Refine,
 		ExtraAllocFns:    ro.ExtraAllocFns,
+		BDD:              bdd.Config{NodeSize: ro.BDDNodeSize, CacheRatio: ro.BDDCacheRatio},
 	}
 	switch ro.API {
 	case "", "both":
