@@ -307,9 +307,9 @@ func BenchmarkDatalogClosure(b *testing.B) {
 				datalog.NewRule(datalog.T(path, "x", "z"), datalog.T(path, "x", "y"), datalog.T(path, "y", "z")),
 			}
 			if semiNaive {
-				p.SolveSemiNaive(rules, 0)
+				p.SolveSemiNaive(context.Background(), rules, 0)
 			} else {
-				p.Solve(rules, 0)
+				p.Solve(context.Background(), rules, 0)
 			}
 			if path.Count() != 128*127/2 {
 				b.Fatal("closure wrong")
@@ -449,7 +449,7 @@ func BenchmarkAblationPointerSolver(b *testing.B) {
 	b.Run("bdd", func(b *testing.B) {
 		var heap int
 		for i := 0; i < b.N; i++ {
-			heap = pointer.AnalyzeBDD(n, cfg).HeapSize()
+			heap = pointer.AnalyzeBDD(context.Background(), n, cfg).HeapSize()
 		}
 		b.ReportMetric(float64(heap), "heap-edges")
 	})

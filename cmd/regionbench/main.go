@@ -30,6 +30,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 	"repro/internal/workloads"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	seed := flag.Int64("seed", 2008, "corpus generation seed")
 	scale := flag.String("scale", "paper", "corpus scale: small or paper")
 	jsonPath := flag.String("json", "", "write per-phase, per-workload timings as JSON to this file")
+	traceOn := flag.Bool("trace", false, "trace the -json corpus run and embed per-span totals in the document")
 	jobs := flag.Int("jobs", 0, "number of executables analyzed concurrently in -json mode (0 = GOMAXPROCS)")
 	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
@@ -76,7 +78,7 @@ func main() {
 	}
 
 	if *jsonPath != "" {
-		if err := writeJSON(*jsonPath, pkgs, *seed, *scale, *jobs); err != nil {
+		if err := writeJSON(*jsonPath, pkgs, *seed, *scale, *jobs, *traceOn); err != nil {
 			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
 			os.Exit(1)
 		}
@@ -102,6 +104,15 @@ type benchDoc struct {
 	Scale     string          `json:"scale"`
 	Jobs      int             `json:"jobs"`
 	Workloads []workloadTimes `json:"workloads"`
+	// TraceSummary aggregates span wall time by span name across the
+	// whole corpus run (present only with -trace): phases, per-rule
+	// fixpoint evaluations, solver rounds.
+	TraceSummary map[string]spanTotal `json:"trace_summary,omitempty"`
+}
+
+type spanTotal struct {
+	Count  uint64  `json:"count"`
+	WallMS float64 `json:"wall_ms"`
 }
 
 type workloadTimes struct {
@@ -132,7 +143,7 @@ type headline struct {
 
 // writeJSON analyzes every (package, exe) pair over the parallel
 // corpus driver and writes the per-phase timing document.
-func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string, jobs int) error {
+func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string, jobs int, traceOn bool) error {
 	type job struct {
 		pkg *workloads.Package
 		exe workloads.Exe
@@ -143,7 +154,13 @@ func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string,
 			jobsIn = append(jobsIn, job{p, exe})
 		}
 	}
-	results := pipeline.RunCorpus(context.Background(), jobsIn, jobs,
+	ctx := context.Background()
+	var tracer *trace.Tracer
+	if traceOn {
+		tracer = trace.New()
+		ctx = trace.WithTracer(ctx, tracer)
+	}
+	results := pipeline.RunCorpus(ctx, jobsIn, jobs,
 		func(ctx context.Context, j job) (*core.Analysis, error) {
 			return core.AnalyzeSourceContext(ctx, benchOpts, j.pkg.SourcesFor(j.exe))
 		})
@@ -178,6 +195,15 @@ func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string,
 			}
 		}
 		doc.Workloads = append(doc.Workloads, wt)
+	}
+	if tracer != nil {
+		doc.TraceSummary = make(map[string]spanTotal)
+		for name, s := range tracer.Summary() {
+			doc.TraceSummary[name] = spanTotal{
+				Count:  s.Count,
+				WallMS: float64(s.Wall) / float64(time.Millisecond),
+			}
+		}
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -26,6 +26,9 @@
 //	-jobs N            analyze N file sets concurrently (default GOMAXPROCS)
 //	-timeout D         abort the whole run after D (e.g. 30s, 5m)
 //	-phase-stats       print the per-phase pipeline cost table
+//	-trace f           write a Chrome trace_event JSON trace to f
+//	                   (open in chrome://tracing or ui.perfetto.dev;
+//	                   schema "regionwiz/trace/v1")
 //	-cpuprofile f      write a CPU profile to f
 //	-memprofile f      write a heap profile to f
 package main
@@ -45,6 +48,7 @@ import (
 
 	regionwiz "repro"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 )
 
 func main() { os.Exit(run()) }
@@ -64,6 +68,7 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "number of file sets analyzed concurrently (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseStats := flag.Bool("phase-stats", false, "print the per-phase pipeline cost table")
+	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -131,10 +136,20 @@ func run() int {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		tracer = trace.New()
+		ctx = trace.WithTracer(ctx, tracer)
+	}
 
 	results := pipeline.RunCorpus(ctx, sets, *jobs,
 		func(ctx context.Context, set fileSet) (*regionwiz.Analysis, error) {
-			return regionwiz.AnalyzeFilesContext(ctx, opts, set.files...)
+			// Each file set gets its own root span (and so its own
+			// lane in the Chrome view) named after the set.
+			ctx, sp := trace.StartSpan(ctx, "analyze:"+set.name)
+			a, err := regionwiz.AnalyzeFilesContext(ctx, opts, set.files...)
+			sp.End(trace.Bool("error", err != nil))
+			return a, err
 		})
 
 	code := 0
@@ -175,6 +190,23 @@ func run() int {
 		if len(report.Warnings) > 0 && code == 0 {
 			code = 3
 		}
+	}
+
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: -trace: %v\n", err)
+			return 1
+		}
+		werr := tracer.WriteChromeTrace(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: -trace: %v\n", werr)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "regionwiz: wrote %d trace records to %s\n", tracer.Len(), *traceOut)
 	}
 
 	if *memprofile != "" {

@@ -12,12 +12,24 @@
 // Endpoints:
 //
 //	POST /v1/analyze   {"sources": {"path": "content", ...},
-//	                    "options": {"entry": "main", "api": "both", ...}}
-//	                   -> {"cached": bool, "key": "...", "report": {...}}
-//	                   (report schema "regionwiz/report/v1")
+//	                    "options": {"entry": "main", "api": "both", ...},
+//	                    "trace": bool}
+//	                   -> {"cached": bool, "key": "...", "report": {...},
+//	                       "trace": {...}}
+//	                   (report schema "regionwiz/report/v1"; the trace
+//	                   key is present only when requested and carries a
+//	                   Chrome trace_event document, schema
+//	                   "regionwiz/trace/v1")
 //	GET  /v1/healthz   liveness probe
-//	GET  /v1/metrics   Prometheus text exposition
+//	GET  /v1/metrics   Prometheus text exposition (counters, gauges, and
+//	                   latency histograms: regionwizd_analyze_duration_seconds,
+//	                   regionwizd_queue_wait_seconds,
+//	                   regionwizd_phase_duration_seconds{phase=...})
 //	GET  /v1/stats     counters as JSON
+//
+// Logs are structured (log/slog, logfmt-style text): every request
+// gets a short random id carried through handler spans, and access
+// lines keep the method/path/status/wall fields.
 //
 // Flags:
 //
@@ -30,17 +42,25 @@
 //	                      runs (0 = kernel default, 8192)
 //	-bdd-cache-ratio N    BDD node-table slots per op-cache slot
 //	                      (0 = kernel default, 1)
+//	-pprof-addr host:port serve net/http/pprof on a SEPARATE listener
+//	                      (off by default; keep it on localhost — the
+//	                      profiling endpoints are not authenticated)
+//	-log-level level      debug, info, warn, or error (default info)
 package main
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"math/rand"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -58,7 +78,17 @@ func run() int {
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for bdd-backend runs (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "regionwizd: bad -log-level %q: %v\n", *logLevel, err)
+		return 2
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	svc := service.New(service.Config{
 		Workers:        *workers,
@@ -69,29 +99,54 @@ func run() int {
 	})
 	server := &http.Server{
 		Addr:              *addr,
-		Handler:           logRequests(service.NewHandler(svc)),
+		Handler:           logRequests(logger, service.NewHandler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- server.ListenAndServe() }()
-	log.Printf("regionwizd: listening on %s (workers=%d queue=%d cache=%d timeout=%v)",
-		*addr, *workers, *queueDepth, *cacheEntries, *requestTimeout)
+	logger.Info("listening",
+		"addr", *addr, "workers", *workers, "queue", *queueDepth,
+		"cache", *cacheEntries, "timeout", *requestTimeout)
+
+	var pprofServer *http.Server
+	if *pprofAddr != "" {
+		// An explicit mux on a separate listener: the profiling
+		// endpoints never share a port with the analysis API, so an
+		// exposed -addr does not also expose pprof.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofServer = &http.Server{Addr: *pprofAddr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			if err := pprofServer.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof server failed", "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigCh:
-		log.Printf("regionwizd: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := server.Shutdown(ctx); err != nil {
-			log.Printf("regionwizd: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
+		}
+		if pprofServer != nil {
+			pprofServer.Shutdown(ctx)
 		}
 		svc.Close()
 		st := svc.Stats()
-		log.Printf("regionwizd: served %d requests (%d hits, %d misses, %d coalesced, %d overloads)",
-			st.Requests, st.Hits, st.Misses, st.Coalesced, st.Overloads)
+		logger.Info("served",
+			"requests", st.Requests, "hits", st.Hits, "misses", st.Misses,
+			"coalesced", st.Coalesced, "overloads", st.Overloads)
 		return 0
 	case err := <-errCh:
 		if errors.Is(err, http.ErrServerClosed) {
@@ -102,13 +157,36 @@ func run() int {
 	}
 }
 
-// logRequests is a minimal access log: method, path, status, wall.
-func logRequests(next http.Handler) http.Handler {
+// idSource generates short random request ids (not cryptographic —
+// they only correlate log lines and trace spans).
+var idSource = struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}{r: rand.New(rand.NewSource(time.Now().UnixNano()))}
+
+func newRequestID() string {
+	var b [6]byte
+	idSource.mu.Lock()
+	idSource.r.Read(b[:])
+	idSource.mu.Unlock()
+	return hex.EncodeToString(b[:])
+}
+
+// logRequests is the access log: method, path, status, wall — the same
+// fields the daemon always logged, now as structured attributes plus a
+// per-request id that also reaches handler spans via the context.
+func logRequests(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		t0 := time.Now()
+		id := newRequestID()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(sw, r)
-		log.Printf("%s %s %d %v", r.Method, r.URL.Path, sw.status, time.Since(t0).Round(time.Microsecond))
+		next.ServeHTTP(sw, r.WithContext(service.WithRequestID(r.Context(), id)))
+		logger.Info("request",
+			"id", id,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"wall", time.Since(t0).Round(time.Microsecond).String())
 	})
 }
 

@@ -83,6 +83,15 @@ type Manager struct {
 	cacheMisses      uint64
 	uniqueCollisions uint64
 	grows            uint64
+
+	// OnEvent, when non-nil, is called synchronously on kernel
+	// structural events — kind "grow" after a node-table doubling and
+	// "cache_clear" after ClearCaches — with the live node count and
+	// table capacity. The trace layer hooks it to mark grows on the
+	// timeline without this package importing it. The callback runs on
+	// the (single-threaded) manager's goroutine and must not call back
+	// into the manager.
+	OnEvent func(kind string, nodes, capacity int)
 }
 
 // New returns a Manager with default sizing and no variables.
@@ -163,6 +172,9 @@ func (m *Manager) ClearCaches() {
 	m.andExCache.clear()
 	m.replaceCache.clear()
 	m.satRecCache.clear()
+	if m.OnEvent != nil {
+		m.OnEvent("cache_clear", int(m.free), len(m.nodes))
+	}
 }
 
 // AddVar allocates one fresh boolean variable and returns its index.

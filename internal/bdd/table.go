@@ -92,4 +92,7 @@ func (m *Manager) grow() {
 		n.next = b.hash
 		b.hash = i
 	}
+	if m.OnEvent != nil {
+		m.OnEvent("grow", int(m.free), len(m.nodes))
+	}
 }

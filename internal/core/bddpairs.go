@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"sort"
+
 	"repro/internal/datalog"
+	"repro/internal/trace"
 )
 
 // computeObjectPairsBDD runs the inconsistency computation on the
@@ -17,11 +21,16 @@ import (
 //
 // The result is identical to the explicit backend (asserted by tests);
 // the two differ only in how the relations are stored and joined.
-func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
+func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	if len(a.AccessEdges) == 0 {
 		return nil
 	}
 	p := datalog.NewProgramConfig(a.Opts.BDD)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		p.M.OnEvent = func(kind string, nodes, capacity int) {
+			sp.Event("bdd_"+kind, trace.Int("nodes", nodes), trace.Int("capacity", capacity))
+		}
+	}
 	nR := uint64(len(a.Regions))
 	nO := uint64(len(a.Ptr.Objects))
 	// Offsets are interned into a dense domain.
@@ -57,8 +66,15 @@ func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
 			own.Add(uint64(i), uint64(a.Regions[i].Obj))
 		}
 	}
-	for obj, owners := range a.Owner {
-		for _, r := range owners {
+	// Sorted object order keeps the BDD insertion sequence (and so the
+	// kernel's cache/node counters in the report) deterministic.
+	objs := make([]int, 0, len(a.Owner))
+	for obj := range a.Owner {
+		objs = append(objs, obj)
+	}
+	sort.Ints(objs)
+	for _, obj := range objs {
+		for _, r := range a.Owner[obj] {
 			own.Add(uint64(r), uint64(obj))
 		}
 	}
@@ -75,25 +91,32 @@ func (a *Analysis) computeObjectPairsBDD() []ObjectPair {
 	}
 
 	// Stratum 1: the subregion partial order (semi-naive, as bddbddb
-	// evaluates recursive rules).
-	p.SolveSemiNaive([]*datalog.Rule{
+	// evaluates recursive rules). Each stratum gets its own span so
+	// traces show which of the three fixpoints dominates.
+	sctx, s1 := trace.StartSpan(ctx, "pairs.stratum:leq")
+	p.SolveSemiNaive(sctx, []*datalog.Rule{
 		datalog.NewRule(datalog.T(leq, "x", "x"), datalog.T(region, "x")),
 		datalog.NewRule(datalog.T(leq, "x", "y"), datalog.T(parent, "x", "y")),
 		datalog.NewRule(datalog.T(leq, "x", "z"), datalog.T(leq, "x", "y"), datalog.T(parent, "y", "z")),
 	}, 0)
+	s1.End()
 	// Stratum 2: complement (safe, stratified negation).
-	p.Solve([]*datalog.Rule{
+	sctx, s2 := trace.StartSpan(ctx, "pairs.stratum:regionPair")
+	p.Solve(sctx, []*datalog.Rule{
 		datalog.NewRule(datalog.T(regionPair, "x", "y"),
 			datalog.T(region, "x"), datalog.T(region, "y"), datalog.N(leq, "x", "y")),
 	}, 0)
+	s2.End()
 	// Stratum 3: the verification join.
-	p.Solve([]*datalog.Rule{
+	sctx, s3 := trace.StartSpan(ctx, "pairs.stratum:objectPair")
+	p.Solve(sctx, []*datalog.Rule{
 		datalog.NewRule(datalog.T(objectPair, "o1", "n", "o2"),
 			datalog.T(regionPair, "x", "y"),
 			datalog.T(own, "x", "o1"),
 			datalog.T(own, "y", "o2"),
 			datalog.T(access, "o1", "n", "o2")),
 	}, 0)
+	s3.End()
 
 	// Expose the engine's final footprint and kernel counters to the
 	// pipeline metrics (the pairs phase reports them as bdd_nodes /

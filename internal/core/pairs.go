@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/cminor"
@@ -27,9 +28,9 @@ type ObjectPair struct {
 // each σ edge directly (equivalent to materializing regionPair and
 // joining, but linear in |σ|); the BDD backend runs the paper's
 // Datalog rules and is cross-checked in tests.
-func (a *Analysis) computeObjectPairs() []ObjectPair {
+func (a *Analysis) computeObjectPairs(ctx context.Context) []ObjectPair {
 	if a.Opts.Backend == BDDBackend {
-		return a.computeObjectPairsBDD()
+		return a.computeObjectPairsBDD(ctx)
 	}
 	var out []ObjectPair
 	for _, e := range a.AccessEdges {

@@ -115,8 +115,8 @@ func analysisPhases() []pipeline.Phase[*Analysis] {
 			}
 			return nil
 		}),
-		pipeline.New(PhasePointer, func(_ context.Context, a *Analysis) error {
-			a.Ptr = pointer.Analyze(a.Numbering, a.pointerConfig())
+		pipeline.New(PhasePointer, func(ctx context.Context, a *Analysis) error {
+			a.Ptr = pointer.AnalyzeContext(ctx, a.Numbering, a.pointerConfig())
 			return nil
 		}),
 		pipeline.New(PhaseRegions, func(_ context.Context, a *Analysis) error {
@@ -132,8 +132,8 @@ func analysisPhases() []pipeline.Phase[*Analysis] {
 			a.extractAccess()
 			return nil
 		}),
-		pipeline.New(PhasePairs, func(_ context.Context, a *Analysis) error {
-			a.pairs = a.computeObjectPairs()
+		pipeline.New(PhasePairs, func(ctx context.Context, a *Analysis) error {
+			a.pairs = a.computeObjectPairs(ctx)
 			return nil
 		}),
 		pipeline.New(PhasePost, func(_ context.Context, a *Analysis) error {

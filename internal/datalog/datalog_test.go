@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -90,7 +91,7 @@ func TestTransitiveClosure(t *testing.T) {
 		NewRule(T(path, "x", "y"), T(edge, "x", "y")),
 		NewRule(T(path, "x", "z"), T(path, "x", "y"), T(edge, "y", "z")),
 	}
-	p.Solve(rules, 0)
+	p.Solve(context.Background(), rules, 0)
 	// A 10-cycle's closure is complete: 100 pairs.
 	if got := path.Count(); got != 100 {
 		t.Fatalf("closure of 10-cycle has %d pairs, want 100", got)
@@ -114,7 +115,7 @@ func TestPropertyClosureMatchesFloydWarshall(t *testing.T) {
 			adj[i][j] = true
 			edge.Add(uint64(i), uint64(j))
 		}
-		p.Solve([]*Rule{
+		p.Solve(context.Background(), []*Rule{
 			NewRule(T(path, "x", "y"), T(edge, "x", "y")),
 			NewRule(T(path, "x", "z"), T(path, "x", "y"), T(path, "y", "z")),
 		}, 0)
@@ -159,11 +160,11 @@ func TestNegation(t *testing.T) {
 	edge.Add(0, 1)
 	edge.Add(1, 2)
 	// 3,4 disconnected.
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(reach, "x"), T(node, "x").Bind(0, 0)),
 		NewRule(T(reach, "y"), T(reach, "x"), T(edge, "x", "y")),
 	}, 0)
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(unreachedFrom0, "x"), T(node, "x"), N(reach, "x")),
 	}, 0)
 	want := [][]uint64{{3}, {4}}
@@ -182,7 +183,7 @@ func TestConstantsAndWildcards(t *testing.T) {
 	call.Add(3, 1, 2)
 	call.Add(4, 1, 5)
 	// callers(x) :- call(x, _, 2).  (who calls node 2, any function)
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(callers, "x"), T(call, "x", Wildcard, Wildcard).Bind(2, 2)),
 	}, 0)
 	want := [][]uint64{{1}, {3}}
@@ -199,7 +200,7 @@ func TestRepeatedVariableInAtom(t *testing.T) {
 	edge.Add(1, 1)
 	edge.Add(1, 2)
 	edge.Add(3, 3)
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(self, "x"), T(edge, "x", "x")),
 	}, 0)
 	want := [][]uint64{{1}, {3}}
@@ -223,7 +224,7 @@ func TestJoinAcrossDomains(t *testing.T) {
 	hP.Add(10, 3, 11)
 	hP.Add(10, 4, 12)
 	load.Add(2, 1, 3) // v2 = v1.f3
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(vP, "x", "h2"), T(load, "x", "y", "f"), T(vP, "y", "h"), T(hP, "h", "f", "h2")),
 	}, 0)
 	if !vP.Has(2, 11) {
@@ -268,7 +269,7 @@ func TestHeadConstant(t *testing.T) {
 	out := p.Relation("out", d.At(0), d.At(1))
 	a.Add(5)
 	// out(x, 7) :- a(x).
-	p.Solve([]*Rule{
+	p.Solve(context.Background(), []*Rule{
 		NewRule(T(out, "x", Wildcard).Bind(1, 7), T(a, "x")),
 	}, 0)
 	if !out.Has(5, 7) || out.Count() != 1 {
@@ -308,7 +309,7 @@ func TestSolveRoundCount(t *testing.T) {
 		// Quadratic rule converges in O(log n) rounds.
 		NewRule(T(path, "x", "z"), T(path, "x", "y"), T(path, "y", "z")),
 	}
-	rounds := p.Solve(rules, 100)
+	rounds, _ := p.Solve(context.Background(), rules, 100)
 	if rounds > 10 {
 		t.Fatalf("doubling closure took %d rounds, expected <= 10", rounds)
 	}

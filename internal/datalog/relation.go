@@ -108,18 +108,27 @@ func (r *Relation) mustMatchSchema(other *Relation) {
 
 // Count returns the number of tuples.
 func (r *Relation) Count() uint64 {
-	if r.node == bdd.False {
+	return r.p.countTuples(r.node, r.attrs)
+}
+
+// countTuples counts the tuples of a BDD node ranging over the given
+// schema — Relation.Count, but usable on intermediate nodes too (the
+// trace layer counts semi-naive deltas this way). SatCount walks
+// memoized subgraphs without touching the manager's shared op caches or
+// creating nodes, so counting is invisible to reported BDD statistics.
+func (p *Program) countTuples(n bdd.Node, attrs []Attr) uint64 {
+	if n == bdd.False {
 		return 0
 	}
 	bits := 0
-	for _, a := range r.attrs {
+	for _, a := range attrs {
 		bits += len(a.Dom.Instance(a.Inst).Vars())
 	}
-	total := r.p.M.SatCount(r.node)
+	total := p.M.SatCount(n)
 	// SatCount ranges over every allocated variable; divide out the
 	// unconstrained ones. Ldexp scales by an exact power of two, so the
 	// division stays precise even past 64 free variables.
-	free := r.p.M.NumVars() - bits
+	free := p.M.NumVars() - bits
 	return uint64(math.Round(math.Ldexp(total, -free)))
 }
 

@@ -1,9 +1,13 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/bdd"
+	"repro/internal/trace"
 )
 
 // Wildcard is the anonymous variable: the attribute is quantified away.
@@ -45,6 +49,9 @@ func (t Term) Bind(i int, value uint64) Term {
 type Rule struct {
 	Head Term
 	Body []Term
+	// name is the Datalog-style rendering, computed once for trace
+	// span labels.
+	name string
 }
 
 // NewRule builds a rule and validates variable/domain consistency and
@@ -52,8 +59,25 @@ type Rule struct {
 func NewRule(head Term, body ...Term) *Rule {
 	r := &Rule{Head: head, Body: body}
 	r.validate()
+	var sb strings.Builder
+	sb.WriteString(r.Head.Rel.Name)
+	sb.WriteString(":-")
+	for i, t := range r.Body {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if t.Neg {
+			sb.WriteByte('!')
+		}
+		sb.WriteString(t.Rel.Name)
+	}
+	r.name = sb.String()
 	return r
 }
+
+// Name renders the rule as head:-body relation names (negated atoms
+// prefixed with !) — the label its fixpoint spans carry.
+func (r *Rule) Name() string { return r.name }
 
 func (r *Rule) validate() {
 	if r.Head.Neg {
@@ -233,9 +257,18 @@ func (p *Program) derive(r *Rule, deltaIdx int, delta bdd.Node) bdd.Node {
 		}
 		constrain = m.And(constrain, env.insts[v].EqDomain(attrInst))
 	}
+	// Build the quantification cube in sorted-variable order: map
+	// iteration order would vary the AND association run to run, which
+	// perturbs the kernel's cache/node counters (and thus reports)
+	// without changing the result.
+	vars := make([]string, 0, len(env.insts))
+	for v := range env.insts {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
 	cube := bdd.True
-	for _, inst := range env.insts {
-		cube = m.And(cube, inst.Cube())
+	for _, v := range vars {
+		cube = m.And(cube, env.insts[v].Cube())
 	}
 	return m.AndExists(acc, constrain, cube)
 }
@@ -247,8 +280,19 @@ func (p *Program) derive(r *Rule, deltaIdx int, delta bdd.Node) bdd.Node {
 // evaluation, once per recursive atom. Non-recursive rules run exactly
 // once. Negated atoms must belong to an earlier stratum (they are read
 // in full and must not be heads in the same rule set — enforced).
-// It returns the number of rounds.
-func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
+//
+// It returns the number of rounds and whether a fixpoint was reached:
+// fixpoint is false exactly when maxRounds (>0) cut the iteration off
+// early, in which case the relations hold a sound under-approximation
+// of the fixpoint — callers must not treat it as converged.
+//
+// When ctx carries a trace.Tracer the solve becomes a span with one
+// child span per round and, inside each round, one child per rule
+// evaluation carrying the delta relation and new-tuple count (the
+// per-rule timing bddbddb printed with -v). Counting tuples only
+// happens while tracing: the tracing-off path adds zero work and zero
+// allocations.
+func (p *Program) SolveSemiNaive(ctx context.Context, rules []*Rule, maxRounds int) (int, bool) {
 	m := p.M
 	derivedBy := make(map[*Relation]bool)
 	for _, r := range rules {
@@ -261,6 +305,10 @@ func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
 			}
 		}
 	}
+	_, solve := trace.StartSpan(ctx, "datalog.seminaive")
+	if solve != nil {
+		solve.Attrs(trace.Int("rules", len(rules)))
+	}
 	// Round 0: evaluate every rule in full; the union of everything
 	// derived (plus pre-seeded tuples, which count as new) is the
 	// first delta.
@@ -269,13 +317,25 @@ func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
 		delta[rel] = rel.node
 	}
 	rounds := 1
+	roundSp := solve.Child("round")
+	nodes0 := 0
+	if solve != nil {
+		nodes0 = m.NumNodes()
+	}
 	for _, r := range rules {
+		ruleSp := roundSp.Child("rule:" + r.Name())
 		d := p.derive(r, -1, bdd.False)
 		newTuples := m.Diff(d, r.Head.Rel.node)
 		if newTuples != bdd.False {
 			r.Head.Rel.node = m.Or(r.Head.Rel.node, newTuples)
 			delta[r.Head.Rel] = m.Or(delta[r.Head.Rel], newTuples)
 		}
+		if ruleSp != nil {
+			ruleSp.End(trace.Uint64("new_tuples", p.countTuples(newTuples, r.Head.Rel.attrs)))
+		}
+	}
+	if roundSp != nil {
+		p.endRoundSpan(roundSp, rounds, delta, nodes0)
 	}
 	for {
 		// Quiesce?
@@ -286,11 +346,18 @@ func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
 			}
 		}
 		if !anyDelta {
-			return rounds
+			solve.End(trace.Int("rounds", rounds), trace.Bool("fixpoint", true))
+			return rounds, true
 		}
 		rounds++
 		if maxRounds > 0 && rounds > maxRounds {
-			panic(fmt.Sprintf("datalog: no fixpoint after %d rounds", maxRounds))
+			solve.Event("max_rounds_exceeded", trace.Int("max_rounds", maxRounds))
+			solve.End(trace.Int("rounds", rounds-1), trace.Bool("fixpoint", false))
+			return rounds - 1, false
+		}
+		roundSp = solve.Child("round")
+		if solve != nil {
+			nodes0 = m.NumNodes()
 		}
 		next := make(map[*Relation]bdd.Node)
 		for rel := range derivedBy {
@@ -305,37 +372,93 @@ func (p *Program) SolveSemiNaive(rules []*Rule, maxRounds int) int {
 				if d == bdd.False {
 					continue
 				}
+				ruleSp := roundSp.Child("rule:" + r.Name())
 				derivedNow := p.derive(r, i, d)
 				newTuples := m.Diff(derivedNow, r.Head.Rel.node)
 				if newTuples != bdd.False {
 					r.Head.Rel.node = m.Or(r.Head.Rel.node, newTuples)
 					next[r.Head.Rel] = m.Or(next[r.Head.Rel], newTuples)
 				}
+				if ruleSp != nil {
+					ruleSp.End(
+						trace.Str("delta_rel", t.Rel.Name),
+						trace.Uint64("delta_tuples", p.countTuples(d, t.Rel.attrs)),
+						trace.Uint64("new_tuples", p.countTuples(newTuples, r.Head.Rel.attrs)))
+				}
 			}
 		}
 		delta = next
+		if roundSp != nil {
+			p.endRoundSpan(roundSp, rounds, delta, nodes0)
+		}
 	}
+}
+
+// endRoundSpan finishes one fixpoint round's span with the delta
+// tuple total and BDD node growth — only called while tracing.
+func (p *Program) endRoundSpan(sp *trace.Span, round int, delta map[*Relation]bdd.Node, nodesBefore int) {
+	var tuples uint64
+	for rel, d := range delta {
+		if d != bdd.False {
+			tuples += p.countTuples(d, rel.attrs)
+		}
+	}
+	sp.End(
+		trace.Int("round", round),
+		trace.Uint64("delta_tuples", tuples),
+		trace.Int("bdd_nodes", p.M.NumNodes()),
+		trace.Int("bdd_nodes_delta", p.M.NumNodes()-nodesBefore))
 }
 
 // Solve runs the rules to a global fixpoint using naive iteration (a
 // round applies every rule once; rounds repeat while anything changed).
-// It returns the number of rounds. maxRounds guards against
-// non-terminating rule sets; 0 means no limit.
-func (p *Program) Solve(rules []*Rule, maxRounds int) int {
+// It returns the number of rounds and whether a fixpoint was reached
+// (false exactly when maxRounds > 0 cut the iteration off early; 0
+// means no limit). Tracing mirrors SolveSemiNaive: a span per solve,
+// per round, and per changed-rule application.
+func (p *Program) Solve(ctx context.Context, rules []*Rule, maxRounds int) (int, bool) {
+	_, solve := trace.StartSpan(ctx, "datalog.solve")
+	if solve != nil {
+		solve.Attrs(trace.Int("rules", len(rules)))
+	}
 	rounds := 0
 	for {
 		rounds++
+		roundSp := solve.Child("round")
+		nodes0 := 0
+		if solve != nil {
+			nodes0 = p.M.NumNodes()
+		}
 		changed := false
+		changedRules := 0
 		for _, r := range rules {
-			if p.Apply(r) {
+			ruleSp := roundSp.Child("rule:" + r.Name())
+			ruleChanged := p.Apply(r)
+			if ruleChanged {
 				changed = true
+				changedRules++
+			}
+			if ruleSp != nil {
+				ruleSp.End(
+					trace.Bool("changed", ruleChanged),
+					trace.Uint64("head_tuples", r.Head.Rel.Count()))
 			}
 		}
+		if roundSp != nil {
+			roundSp.End(
+				trace.Int("round", rounds),
+				trace.Int("changed_rules", changedRules),
+				trace.Int("bdd_nodes", p.M.NumNodes()),
+				trace.Int("bdd_nodes_delta", p.M.NumNodes()-nodes0))
+		}
 		if !changed {
-			return rounds
+			solve.End(trace.Int("rounds", rounds), trace.Bool("fixpoint", true))
+			return rounds, true
 		}
 		if maxRounds > 0 && rounds >= maxRounds {
-			panic(fmt.Sprintf("datalog: no fixpoint after %d rounds", maxRounds))
+			solve.Event("max_rounds_exceeded", trace.Int("max_rounds", maxRounds))
+			solve.End(trace.Int("rounds", rounds), trace.Bool("fixpoint", false))
+			return rounds, false
 		}
 	}
 }

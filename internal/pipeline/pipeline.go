@@ -16,7 +16,10 @@ package pipeline
 import (
 	"context"
 	"runtime"
+	"sort"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // Phase is one named stage of a pipeline over state S.
@@ -137,9 +140,18 @@ func (r *Runner[S]) PhaseNames() []string {
 // running later phases. A phase error likewise aborts the pipeline
 // and is returned unwrapped. The returned Metrics always covers the
 // phases that actually ran.
+// When the context carries a trace.Tracer, the run becomes a
+// "pipeline" span and every phase a "phase:<name>" child span (the
+// bridge between the Observer seam and the trace layer); the phase's
+// allocation delta and changed relation sizes become span attributes.
 func (r *Runner[S]) Run(ctx context.Context, st S) (*Metrics, error) {
 	start := time.Now()
 	m := &Metrics{}
+	ctx, runSpan := trace.StartSpan(ctx, "pipeline")
+	var runErr error
+	defer func() {
+		runSpan.End(trace.Int("phases_run", len(m.Phases)), trace.Bool("error", runErr != nil))
+	}()
 	var prev map[string]int64
 	sizer, hasSizer := any(st).(RelationSizer)
 	if hasSizer {
@@ -148,15 +160,17 @@ func (r *Runner[S]) Run(ctx context.Context, st S) (*Metrics, error) {
 	for _, ph := range r.phases {
 		if err := ctx.Err(); err != nil {
 			m.Total = time.Since(start)
+			runErr = err
 			return m, err
 		}
 		if r.Observer != nil {
 			r.Observer.PhaseStart(ph.Name(), st)
 		}
+		pctx, span := trace.StartSpan(ctx, "phase:"+ph.Name())
 		var before runtime.MemStats
 		runtime.ReadMemStats(&before)
 		t0 := time.Now()
-		err := ph.Run(ctx, st)
+		err := ph.Run(pctx, st)
 		wall := time.Since(t0)
 		var after runtime.MemStats
 		runtime.ReadMemStats(&after)
@@ -170,17 +184,42 @@ func (r *Runner[S]) Run(ctx context.Context, st S) (*Metrics, error) {
 			pm.Outputs = changedSizes(prev, cur)
 			prev = cur
 		}
+		if span != nil {
+			// The span's duration additionally covers the MemStats
+			// reads and the sizer snapshot; the wall attribute is the
+			// phase body alone.
+			span.End(phaseAttrs(pm)...)
+		}
 		m.Phases = append(m.Phases, pm)
 		if r.Observer != nil {
 			r.Observer.PhaseEnd(ph.Name(), st, pm)
 		}
 		if err != nil {
 			m.Total = time.Since(start)
+			runErr = err
 			return m, err
 		}
 	}
 	m.Total = time.Since(start)
 	return m, nil
+}
+
+// phaseAttrs renders one phase's metrics as span attributes, outputs
+// in sorted key order for deterministic exports.
+func phaseAttrs(pm PhaseMetrics) []trace.Attr {
+	attrs := make([]trace.Attr, 0, 2+len(pm.Outputs))
+	attrs = append(attrs,
+		trace.Int64("wall_ns", int64(pm.Wall)),
+		trace.Int64("alloc_bytes", pm.AllocBytes))
+	keys := make([]string, 0, len(pm.Outputs))
+	for k := range pm.Outputs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		attrs = append(attrs, trace.Int64("out."+k, pm.Outputs[k]))
+	}
+	return attrs
 }
 
 // changedSizes returns the entries of cur that are new or different

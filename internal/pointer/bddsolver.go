@@ -1,11 +1,13 @@
 package pointer
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/contexts"
 	"repro/internal/datalog"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // AnalyzeBDD runs a context-insensitive, field-sensitive Andersen
@@ -47,11 +49,16 @@ type BDDResult struct {
 	heap map[heapKey]map[Loc]bool
 
 	Rounds int
+	// Converged mirrors Result.Converged for the relational solver
+	// (always true today: the fixpoint runs unbounded).
+	Converged bool
 }
 
 // AnalyzeBDD computes the relational points-to result. cfg's
 // HeapCloning flag is ignored (always off — objects are per site).
-func AnalyzeBDD(n *contexts.Numbering, cfg Config) *BDDResult {
+// When ctx carries a trace.Tracer, the datalog fixpoint emits
+// per-rule, per-round spans and BDD table grows become trace events.
+func AnalyzeBDD(ctx context.Context, n *contexts.Numbering, cfg Config) *BDDResult {
 	prog := n.G.Prog
 	br := &BDDResult{
 		Prog: prog,
@@ -287,6 +294,7 @@ func AnalyzeBDD(n *contexts.Numbering, cfg Config) *BDDResult {
 	}
 
 	if len(varList) == 0 || len(locList) == 0 {
+		br.Converged = true
 		return br
 	}
 	if len(offList) == 0 {
@@ -296,6 +304,11 @@ func AnalyzeBDD(n *contexts.Numbering, cfg Config) *BDDResult {
 
 	// --- the datalog program ---
 	p := datalog.NewProgramConfig(cfg.BDD)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		p.M.OnEvent = func(kind string, nodes, capacity int) {
+			sp.Event("bdd_"+kind, trace.Int("nodes", nodes), trace.Int("capacity", capacity))
+		}
+	}
 	V := p.Domain("V", uint64(len(varList)))
 	H := p.Domain("H", uint64(len(locList)))
 	F := p.Domain("F", uint64(len(offList)))
@@ -391,7 +404,7 @@ func AnalyzeBDD(n *contexts.Numbering, cfg Config) *BDDResult {
 			datalog.T(edges, "d", "b"), datalog.T(vP, "b", "h"), datalog.T(sr.rel, "h", "h2")))
 	}
 
-	br.Rounds = p.SolveSemiNaive(rules, 0)
+	br.Rounds, br.Converged = p.SolveSemiNaive(ctx, rules, 0)
 
 	// --- read the results back out ---
 	vP.Each(func(t []uint64) bool {

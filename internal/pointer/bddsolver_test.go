@@ -1,6 +1,7 @@
 package pointer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -62,7 +63,7 @@ func crossCheck(t *testing.T, src string) {
 	cfg := testConfig
 	cfg.HeapCloning = false
 	exp := Analyze(n, cfg)
-	bddr := AnalyzeBDD(n, cfg)
+	bddr := AnalyzeBDD(context.Background(), n, cfg)
 	for _, v := range prog.Vars {
 		if v.Temp || v.Name == "__ret" {
 			continue
@@ -221,7 +222,7 @@ int main(void) {
 	cfg := testConfig
 	cfg.HeapCloning = false
 	exp := Analyze(n, cfg)
-	bddr := AnalyzeBDD(n, cfg)
+	bddr := AnalyzeBDD(context.Background(), n, cfg)
 	if exp.HeapSize() != bddr.HeapSize() {
 		t.Fatalf("heap sizes differ: explicit %d vs bdd %d", exp.HeapSize(), bddr.HeapSize())
 	}

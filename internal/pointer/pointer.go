@@ -15,11 +15,13 @@
 package pointer
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bdd"
 	"repro/internal/contexts"
 	"repro/internal/ir"
+	"repro/internal/trace"
 )
 
 // ObjKind classifies abstract objects.
@@ -124,6 +126,10 @@ type Result struct {
 	addrTaken map[*ir.Func][]*ir.Var
 
 	Rounds int
+	// Converged reports whether the fixpoint was actually reached;
+	// false means Config.MaxRounds cut the iteration off and the
+	// points-to sets are an under-approximation.
+	Converged bool
 }
 
 type varKey2 struct {
@@ -133,6 +139,13 @@ type varKey2 struct {
 
 // Analyze runs the analysis over the numbered call graph.
 func Analyze(n *contexts.Numbering, cfg Config) *Result {
+	return AnalyzeContext(context.Background(), n, cfg)
+}
+
+// AnalyzeContext is Analyze with a context: when ctx carries a
+// trace.Tracer, the solve and each of its fixpoint rounds become
+// spans, and a MaxRounds cutoff is recorded as an event.
+func AnalyzeContext(ctx context.Context, n *contexts.Numbering, cfg Config) *Result {
 	r := &Result{
 		Prog:      n.G.Prog,
 		Numbering: n,
@@ -142,7 +155,7 @@ func Analyze(n *contexts.Numbering, cfg Config) *Result {
 		objID:     make(map[Obj]int),
 		allocAt:   make(map[varKey2]int),
 	}
-	r.solve()
+	r.solve(ctx)
 	return r
 }
 
@@ -258,8 +271,13 @@ func (r *Result) PtsSize() int {
 // pipeline metrics: fixpoint rounds, abstract objects, and the
 // variable/heap points-to relation sizes.
 func (r *Result) SolverStats() map[string]int64 {
+	converged := int64(0)
+	if r.Converged {
+		converged = 1
+	}
 	return map[string]int64{
 		"ptr_rounds":     int64(r.Rounds),
+		"ptr_converged":  converged,
 		"ptr_objects":    int64(len(r.Objects)),
 		"pts_edges":      int64(r.PtsSize()),
 		"ptr_heap_edges": int64(r.HeapSize()),
@@ -282,9 +300,13 @@ func sortedLocs(set map[Loc]bool) []Loc {
 
 // --- the solver ---
 
-func (r *Result) solve() {
+func (r *Result) solve(ctx context.Context) {
+	_, sp := trace.StartSpan(ctx, "pointer.solve")
 	n := r.Numbering
 	funcs := n.G.ReachableFuncs()
+	if sp != nil {
+		sp.Attrs(trace.Int("funcs", len(funcs)))
+	}
 	if r.Config.EntryParams {
 		for _, entry := range n.G.Entries {
 			f := r.Prog.Funcs[entry]
@@ -304,25 +326,40 @@ func (r *Result) solve() {
 	}
 	for {
 		r.Rounds++
+		roundSp := sp.Child("round")
 		changed := false
 		for _, fn := range funcs {
 			f := r.Prog.Funcs[fn]
 			count := n.Count[fn]
-			for ctx := uint64(0); ctx < count; ctx++ {
+			for cx := uint64(0); cx < count; cx++ {
 				for _, in := range f.Instrs {
-					if r.step(fn, ctx, in) {
+					if r.step(fn, cx, in) {
 						changed = true
 					}
 				}
-				if r.syncAddrTaken(f, ctx) {
+				if r.syncAddrTaken(f, cx) {
 					changed = true
 				}
 			}
 		}
+		if roundSp != nil {
+			roundSp.End(
+				trace.Int("round", r.Rounds),
+				trace.Bool("changed", changed),
+				trace.Int("pts_edges", r.PtsSize()),
+				trace.Int("heap_edges", r.HeapSize()),
+				trace.Int("objects", len(r.Objects)))
+		}
 		if !changed {
+			r.Converged = true
+			sp.End(trace.Int("rounds", r.Rounds), trace.Bool("converged", true))
 			return
 		}
 		if r.Config.MaxRounds > 0 && r.Rounds >= r.Config.MaxRounds {
+			// Not a fixpoint: the caller sees Converged == false rather
+			// than a silently truncated result.
+			sp.Event("max_rounds_exceeded", trace.Int("max_rounds", r.Config.MaxRounds))
+			sp.End(trace.Int("rounds", r.Rounds), trace.Bool("converged", false))
 			return
 		}
 	}

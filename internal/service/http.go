@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // maxRequestBody bounds a POST /v1/analyze body (sources are text;
@@ -27,6 +30,27 @@ type AnalyzeResponse struct {
 	// "regionwiz/report/v1"), byte-identical across identical
 	// requests.
 	Report json.RawMessage `json:"report"`
+	// Trace is the request's Chrome trace_event document (schema
+	// "regionwiz/trace/v1"), present only when the request set
+	// "trace": true. The report bytes are identical with and without
+	// it.
+	Trace json.RawMessage `json:"trace,omitempty"`
+}
+
+// requestIDKey carries the per-request ID (set by the daemon's logging
+// middleware) through the context.
+type requestIDKey struct{}
+
+// WithRequestID returns a context carrying the request ID; handlers
+// attach it to spans and log lines.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestID returns the context's request ID, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
 }
 
 // errorResponse is every endpoint's failure body.
@@ -83,7 +107,19 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	res, err := s.Analyze(r.Context(), opts, req.Sources)
+	ctx := r.Context()
+	var tr *trace.Tracer
+	var root *trace.Span
+	if req.Trace {
+		tr = trace.New()
+		ctx = trace.WithTracer(ctx, tr)
+		ctx, root = trace.StartSpan(ctx, "http.request")
+		if id := RequestID(ctx); id != "" {
+			root.Attrs(trace.Str("request_id", id))
+		}
+	}
+	res, err := s.Analyze(ctx, opts, req.Sources)
+	root.End(trace.Bool("error", err != nil))
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -93,12 +129,19 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	} else {
 		w.Header().Set("X-Regionwiz-Cache", "miss")
 	}
-	writeJSON(w, http.StatusOK, AnalyzeResponse{
+	resp := AnalyzeResponse{
 		Cached:    res.Cached,
 		Coalesced: res.Coalesced,
 		Key:       res.Key,
 		Report:    json.RawMessage(res.ReportJSON),
-	})
+	}
+	if tr != nil {
+		var buf bytes.Buffer
+		if err := tr.WriteChromeTrace(&buf); err == nil {
+			resp.Trace = json.RawMessage(buf.Bytes())
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusFor maps error kinds to HTTP statuses.
@@ -186,5 +229,53 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 			fmt.Fprintf(&sb, "regionwizd_phase_alloc_bytes_total{phase=%q} %d\n", name, st.Phases[name].AllocBytes)
 		}
 	}
+	writeHistogram(&sb, "regionwizd_analyze_duration_seconds",
+		"End-to-end Analyze latency, all outcomes.", "", st.Histograms["analyze"])
+	writeHistogram(&sb, "regionwizd_queue_wait_seconds",
+		"Admission queue wait of queued requests.", "", st.Histograms["queue_wait"])
+	hnames := make([]string, 0, len(st.Histograms))
+	for name := range st.Histograms {
+		if strings.HasPrefix(name, "phase:") {
+			hnames = append(hnames, name)
+		}
+	}
+	sort.Strings(hnames)
+	for i, name := range hnames {
+		help := ""
+		if i == 0 {
+			help = "Pipeline phase duration."
+		}
+		writeHistogram(&sb, "regionwizd_phase_duration_seconds", help,
+			fmt.Sprintf("phase=%q", strings.TrimPrefix(name, "phase:")), st.Histograms[name])
+	}
 	w.Write([]byte(sb.String()))
+}
+
+// writeHistogram renders one histogram in Prometheus exposition form:
+// cumulative le-labelled buckets, then _sum and _count. A histogram
+// with no observations is skipped entirely (its series would be all
+// zeros). labels, when non-empty, is spliced into every series.
+func writeHistogram(sb *strings.Builder, name, help, labels string, h HistogramSnapshot) {
+	if h.Count == 0 {
+		return
+	}
+	if help != "" {
+		fmt.Fprintf(sb, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	}
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, bound, cum)
+	}
+	cum += h.Counts[len(h.Bounds)]
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, cum)
+	if labels != "" {
+		fmt.Fprintf(sb, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, h.Sum.Seconds(), name, labels, h.Count)
+	} else {
+		fmt.Fprintf(sb, "%s_sum %g\n%s_count %d\n", name, h.Sum.Seconds(), name, h.Count)
+	}
 }

@@ -1,0 +1,172 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestMetricsExposeLatencyHistograms(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	if resp, data := postAnalyze(t, srv, analyzeBody(t, sourcesFor(0), RequestOptions{})); resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d: %s", resp.StatusCode, data)
+	}
+
+	resp, err := http.Get(srv.URL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE regionwizd_analyze_duration_seconds histogram",
+		`regionwizd_analyze_duration_seconds_bucket{le="+Inf"} 1`,
+		"regionwizd_analyze_duration_seconds_sum",
+		"regionwizd_analyze_duration_seconds_count 1",
+		`regionwizd_phase_duration_seconds_bucket{phase="parse",le="+Inf"} 1`,
+		`regionwizd_phase_duration_seconds_count{phase="parse"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	// Bucket counts must be cumulative and end at _count.
+	var st Stats
+	stResp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(stResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stResp.Body.Close()
+	hs, ok := st.Histograms["analyze"]
+	if !ok {
+		t.Fatal("stats lack the analyze histogram")
+	}
+	if hs.Count != 1 || len(hs.Counts) != len(hs.Bounds)+1 {
+		t.Fatalf("analyze histogram shape: count=%d buckets=%d bounds=%d",
+			hs.Count, len(hs.Counts), len(hs.Bounds))
+	}
+	var total uint64
+	for _, c := range hs.Counts {
+		total += c
+	}
+	if total != hs.Count {
+		t.Fatalf("bucket sum %d != count %d", total, hs.Count)
+	}
+}
+
+func TestWireTraceOption(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	plainBody := analyzeBody(t, sourcesFor(0), RequestOptions{})
+	tracedBody := strings.TrimSuffix(plainBody, "}") + `,"trace":true}`
+
+	resp, data := postAnalyze(t, srv, tracedBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced analyze status %d: %s", resp.StatusCode, data)
+	}
+	var traced AnalyzeResponse
+	if err := json.Unmarshal(data, &traced); err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Trace) == 0 {
+		t.Fatal(`"trace": true returned no trace document`)
+	}
+	var doc struct {
+		Schema      string `json:"schema"`
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(traced.Trace, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.Schema != trace.SchemaV1 {
+		t.Fatalf("trace schema = %q, want %q", doc.Schema, trace.SchemaV1)
+	}
+	want := map[string]bool{"service.request": false, "service.analysis": false, "http.request": false}
+	for _, ev := range doc.TraceEvents {
+		if _, ok := want[ev.Name]; ok {
+			want[ev.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("trace lacks a %q span", name)
+		}
+	}
+
+	// Same request without the option: no trace, identical report
+	// bytes (the cache may serve it — the report is content-addressed
+	// either way).
+	resp, data = postAnalyze(t, srv, plainBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("plain analyze status %d: %s", resp.StatusCode, data)
+	}
+	var plain AnalyzeResponse
+	if err := json.Unmarshal(data, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Trace) != 0 {
+		t.Fatal("untraced request returned a trace document")
+	}
+	if plain.Key != traced.Key {
+		t.Fatalf("trace option changed the cache key: %q vs %q", plain.Key, traced.Key)
+	}
+	if !bytes.Equal(plain.Report, traced.Report) {
+		t.Fatal("report bytes differ between traced and untraced requests")
+	}
+}
+
+func TestRequestIDReachesTraceSpans(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc123")
+	if got := RequestID(ctx); got != "abc123" {
+		t.Fatalf("RequestID roundtrip = %q", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Fatalf("RequestID on empty context = %q, want empty", got)
+	}
+
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	// The daemon's middleware injects the ID before the handler; the
+	// handler must attach it to the root span of a traced request.
+	handler := NewHandler(s)
+	wrapped := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		handler.ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), "req-42")))
+	})
+	srv := httptest.NewServer(wrapped)
+	defer srv.Close()
+
+	body := strings.TrimSuffix(analyzeBody(t, sourcesFor(1), RequestOptions{}), "}") + `,"trace":true}`
+	resp, data := postAnalyze(t, srv, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(ar.Trace), `"request_id": "req-42"`) {
+		t.Fatalf("trace lacks the request_id attribute:\n%s", ar.Trace)
+	}
+}

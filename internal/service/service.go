@@ -35,6 +35,7 @@ import (
 	"repro/internal/bdd"
 	"repro/internal/core"
 	"repro/internal/pipeline"
+	"repro/internal/trace"
 )
 
 // Config sizes the service. The zero value is ready to use.
@@ -162,10 +163,24 @@ func Key(opts core.Options, sources map[string]string) string {
 // never cached, so a failed request does not poison its key.
 func (s *Service) Analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
 	s.stats.requests.Add(1)
+	t0 := time.Now()
+	ctx, sp := trace.StartSpan(ctx, "service.request")
 	res, err := s.analyze(ctx, opts, sources)
+	s.stats.analyzeHist.observe(time.Since(t0))
 	if err != nil {
 		s.stats.errs.Add(1)
+		sp.End(trace.Bool("error", true), trace.Str("outcome", "error"))
 		return nil, err
+	}
+	if sp != nil {
+		outcome := "run"
+		switch {
+		case res.Cached:
+			outcome = "cache_hit"
+		case res.Coalesced:
+			outcome = "coalesced"
+		}
+		sp.End(trace.Str("outcome", outcome), trace.Str("key", res.Key[:12]))
 	}
 	return res, nil
 }
@@ -196,13 +211,19 @@ func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[st
 	if res, ok := s.cache.get(key); ok {
 		s.mu.Unlock()
 		s.stats.hits.Add(1)
+		if sp := trace.SpanFromContext(ctx); sp != nil {
+			sp.Event("cache_hit")
+		}
 		hit := *res
 		hit.Cached = true
 		return &hit, nil
 	}
 	if c, ok := s.calls[key]; ok {
 		s.mu.Unlock()
-		return s.await(ctx, c)
+		cctx, wsp := trace.StartSpan(ctx, "service.coalesce_wait")
+		res, err := s.await(cctx, c)
+		wsp.End()
+		return res, err
 	}
 	c := &call{done: make(chan struct{})}
 	s.calls[key] = c
@@ -253,13 +274,16 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 				s.cfg.Workers, s.cfg.QueueDepth)
 		}
 		t0 := time.Now()
+		_, qsp := trace.StartSpan(ctx, "service.admission_wait")
 		select {
 		case s.sem <- struct{}{}:
 			s.stats.queued.Add(-1)
+			qsp.End()
 			s.stats.recordQueueWait(time.Since(t0))
 		case <-ctx.Done():
 			s.stats.queued.Add(-1)
 			s.stats.overloads.Add(1)
+			qsp.End(trace.Str("outcome", "expired"))
 			return nil, &core.Error{
 				Kind: core.ErrOverload,
 				Msg:  fmt.Sprintf("analysis request expired after queueing %v: %v", time.Since(t0).Round(time.Millisecond), ctx.Err()),
@@ -267,6 +291,7 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 			}
 		case <-s.closeCh:
 			s.stats.queued.Add(-1)
+			qsp.End(trace.Str("outcome", "closed"))
 			return nil, errClosed()
 		}
 	}
@@ -280,11 +305,17 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 	// the leader request's own (coalesced waiters' observers do not
 	// fire — the run is shared).
 	opts.Observer = s.stats.phaseObserver(s.cfg.Observer, opts.Observer)
-	a, err := core.AnalyzeSourceContext(ctx, opts, sources)
+	actx, asp := trace.StartSpan(ctx, "service.analysis")
+	a, err := core.AnalyzeSourceContext(actx, opts, sources)
+	asp.End(trace.Bool("error", err != nil))
 	if err != nil {
 		return nil, err
 	}
+	_, esp := trace.StartSpan(ctx, "service.encode")
 	data, err := json.Marshal(a.Report)
+	if esp != nil {
+		esp.End(trace.Int("bytes", len(data)))
+	}
 	if err != nil {
 		return nil, core.WrapError(core.ErrInternal, err)
 	}

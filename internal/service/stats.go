@@ -17,6 +17,59 @@ type PhaseTotal struct {
 	AllocBytes int64         `json:"alloc_bytes"`
 }
 
+// latencyBuckets are the histogram upper bounds in seconds, shared by
+// every service latency histogram (analyze, queue wait, per-phase).
+// They span 1ms to 1min log-ish; observations above the last bound
+// land in the implicit +Inf bucket.
+var latencyBuckets = [...]float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// histogram is a fixed-bucket latency histogram with lock-free
+// observation — the service records every request on the hot path.
+type histogram struct {
+	// counts[i] is the number of observations <= latencyBuckets[i];
+	// counts[len(latencyBuckets)] is the +Inf overflow bucket. Buckets
+	// are NOT cumulative here; exposition cumulates.
+	counts [len(latencyBuckets) + 1]atomic.Uint64
+	sumNS  atomic.Int64
+	count  atomic.Uint64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	secs := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && secs > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.count.Add(1)
+}
+
+// HistogramSnapshot is one histogram's point-in-time state. Counts are
+// per-bucket (not cumulative) and aligned with Bounds; the final entry
+// is the +Inf bucket.
+type HistogramSnapshot struct {
+	Bounds []float64     `json:"bounds_s"`
+	Counts []uint64      `json:"counts"`
+	Sum    time.Duration `json:"sum_ns"`
+	Count  uint64        `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: latencyBuckets[:],
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    time.Duration(h.sumNS.Load()),
+		Count:  h.count.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
 // Stats is a point-in-time snapshot of the service's counters and
 // gauges (the /v1/stats payload).
 type Stats struct {
@@ -47,6 +100,11 @@ type Stats struct {
 	MaxQueueWait time.Duration `json:"max_queue_wait_ns"`
 	// Phases aggregates per-phase cost over every pipeline run.
 	Phases map[string]PhaseTotal `json:"phases,omitempty"`
+	// Histograms holds the latency distributions: "analyze" (end-to-end
+	// Analyze latency), "queue_wait" (admission queue wait), and
+	// "phase:<name>" (per-phase pipeline duration). Only histograms
+	// with at least one observation appear.
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // collector is the service's live counter set.
@@ -56,17 +114,25 @@ type collector struct {
 	queueWaits                                         atomic.Uint64
 	queueWaitNS, maxQueueWaitNS                        atomic.Int64
 
-	mu     sync.Mutex
-	phases map[string]*PhaseTotal
+	analyzeHist histogram
+	queueHist   histogram
+
+	mu         sync.Mutex
+	phases     map[string]*PhaseTotal
+	phaseHists map[string]*histogram
 }
 
 func newCollector() *collector {
-	return &collector{phases: make(map[string]*PhaseTotal)}
+	return &collector{
+		phases:     make(map[string]*PhaseTotal),
+		phaseHists: make(map[string]*histogram),
+	}
 }
 
 func (c *collector) recordQueueWait(d time.Duration) {
 	c.queueWaits.Add(1)
 	c.queueWaitNS.Add(int64(d))
+	c.queueHist.observe(d)
 	for {
 		max := c.maxQueueWaitNS.Load()
 		if int64(d) <= max || c.maxQueueWaitNS.CompareAndSwap(max, int64(d)) {
@@ -97,7 +163,13 @@ func (c *collector) phaseObserver(next ...pipeline.Observer[*core.Analysis]) pip
 			pt.Runs++
 			pt.Wall += m.Wall
 			pt.AllocBytes += m.AllocBytes
+			ph := c.phaseHists[name]
+			if ph == nil {
+				ph = &histogram{}
+				c.phaseHists[name] = ph
+			}
 			c.mu.Unlock()
+			ph.observe(m.Wall)
 			for _, o := range next {
 				if o != nil {
 					o.PhaseEnd(name, st, m)
@@ -122,6 +194,13 @@ func (c *collector) snapshot() Stats {
 		QueueWait:    time.Duration(c.queueWaitNS.Load()),
 		MaxQueueWait: time.Duration(c.maxQueueWaitNS.Load()),
 	}
+	s.Histograms = make(map[string]HistogramSnapshot)
+	if hs := c.analyzeHist.snapshot(); hs.Count > 0 {
+		s.Histograms["analyze"] = hs
+	}
+	if hs := c.queueHist.snapshot(); hs.Count > 0 {
+		s.Histograms["queue_wait"] = hs
+	}
 	c.mu.Lock()
 	if len(c.phases) > 0 {
 		s.Phases = make(map[string]PhaseTotal, len(c.phases))
@@ -129,6 +208,14 @@ func (c *collector) snapshot() Stats {
 			s.Phases[name] = *pt
 		}
 	}
+	for name, h := range c.phaseHists {
+		if hs := h.snapshot(); hs.Count > 0 {
+			s.Histograms["phase:"+name] = hs
+		}
+	}
 	c.mu.Unlock()
+	if len(s.Histograms) == 0 {
+		s.Histograms = nil
+	}
 	return s
 }

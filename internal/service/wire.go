@@ -12,6 +12,13 @@ type Request struct {
 	// Options selects the analysis configuration; the zero value is
 	// the default analysis (entry "main", both region APIs).
 	Options RequestOptions `json:"options"`
+	// Trace, when true, records a per-request trace and returns it in
+	// AnalyzeResponse.Trace (Chrome trace_event JSON, schema
+	// "regionwiz/trace/v1"). Tracing never changes the report, so it
+	// deliberately lives outside Options and the cache key — but note
+	// a cache hit or coalesced request has no pipeline to trace and
+	// returns only the request-level spans.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // RequestOptions is the JSON shape of regionwiz Options — the subset
