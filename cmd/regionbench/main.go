@@ -48,6 +48,10 @@ func main() {
 	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	oracleMode := flag.Bool("oracle", false, "run the differential soundness/parity oracle sweep instead of benchmarks")
+	oracleSeeds := flag.Int("seeds", 100, "number of oracle sweep seeds (with -oracle)")
+	oracleStart := flag.Int64("seed-start", 0, "first oracle sweep seed (with -oracle)")
+	reproDir := flag.String("repro-dir", "", "directory for minimized failure repros (with -oracle; empty = no artifacts)")
 	flag.Parse()
 
 	switch *backend {
@@ -60,6 +64,14 @@ func main() {
 		os.Exit(2)
 	}
 	benchOpts.BDD = bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio}
+
+	if *oracleMode {
+		if err := runOracle(*oracleSeeds, *oracleStart, *jobs, *reproDir, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var specs []workloads.Spec
 	switch *scale {

@@ -129,3 +129,56 @@ int main(void) { return f1() + f1(); }`
 		}
 	}
 }
+
+// TestKCFACapOverflowDeterministic pins the overflow merging strategy:
+// when a function's context count hits the cap, further call strings
+// fold onto existing indices via hashString(cs) % cap — a pure
+// function of the call string, independent of discovery order. Two
+// independent numberings of the same program must therefore agree on
+// every count and every edge mapping, and every mapped context must
+// stay below the cap.
+func TestKCFACapOverflowDeterministic(t *testing.T) {
+	src := `
+int f3(void) { return 0; }
+int f2(void) { return f3() + f3(); }
+int f1(void) { return f2() + f2(); }
+int main(void) { return f1() + f1(); }`
+	a := numberKCFA(t, src, 3, 2)
+	b := numberKCFA(t, src, 3, 2)
+	if !a.Capped || !b.Capped {
+		t.Fatal("cap overflow not reported")
+	}
+	if len(a.Count) != len(b.Count) {
+		t.Fatalf("count tables differ in size: %d vs %d", len(a.Count), len(b.Count))
+	}
+	for fn, c := range a.Count {
+		if b.Count[fn] != c {
+			t.Fatalf("%s: context count %d vs %d across numberings", fn, c, b.Count[fn])
+		}
+	}
+	// Exhaustively map every (caller context, edge) pair through both
+	// numberings.
+	g := a.G
+	for fn := range a.Count {
+		f := g.Prog.Funcs[fn]
+		if f == nil {
+			continue
+		}
+		for _, in := range f.Instrs {
+			for _, callee := range g.Edges[in.ID] {
+				e := Edge{Instr: in.ID, Callee: callee}
+				for ctx := uint64(0); ctx < a.Count[fn]; ctx++ {
+					ca := a.MapContext(fn, ctx, e)
+					cb := b.MapContext(fn, ctx, e)
+					if ca != cb {
+						t.Fatalf("%s ctx %d edge %v: mapped to %d vs %d", fn, ctx, e, ca, cb)
+					}
+					if ca >= a.Count[callee] {
+						t.Fatalf("%s ctx %d edge %v: mapped context %d out of range %d",
+							fn, ctx, e, ca, a.Count[callee])
+					}
+				}
+			}
+		}
+	}
+}

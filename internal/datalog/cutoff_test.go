@@ -1,0 +1,64 @@
+package datalog
+
+import (
+	"context"
+	"testing"
+)
+
+// TestSolverCutoffBoundary pins the unified cutoff contract at exactly
+// the cap for both solvers: "run at most maxRounds rounds". A solve
+// that converges in R rounds must (a) report (R, fixpoint=true) when
+// capped at exactly R, (b) report (R-1, fixpoint=false) when capped at
+// R-1 — even though, for the chain closure, the relation contents
+// happen to be complete by then: the flag means "verified", not
+// "complete". The pointer solver's twin is
+// pointer.TestSolverCutoffBoundary.
+func TestSolverCutoffBoundary(t *testing.T) {
+	const n = 12
+	fullTuples := uint64((n + 1) * n / 2)
+
+	t.Run("seminaive", func(t *testing.T) {
+		p, rules, path := chainProgram(n)
+		unlimited, fixpoint := p.SolveSemiNaive(context.Background(), rules, 0)
+		if !fixpoint || path.Count() != fullTuples {
+			t.Fatalf("unlimited solve: rounds=%d fixpoint=%v count=%d", unlimited, fixpoint, path.Count())
+		}
+
+		// Cap at exactly the convergence round count: identical outcome.
+		p2, rules2, path2 := chainProgram(n)
+		rounds, fixpoint := p2.SolveSemiNaive(context.Background(), rules2, unlimited)
+		if rounds != unlimited || !fixpoint {
+			t.Fatalf("cap==R: rounds=%d fixpoint=%v, want %d/true", rounds, fixpoint, unlimited)
+		}
+		if path2.Count() != fullTuples {
+			t.Fatalf("cap==R closure count = %d, want %d", path2.Count(), fullTuples)
+		}
+
+		// Cap one below: exactly cap rounds run, fixpoint unverified.
+		p3, rules3, _ := chainProgram(n)
+		rounds, fixpoint = p3.SolveSemiNaive(context.Background(), rules3, unlimited-1)
+		if rounds != unlimited-1 || fixpoint {
+			t.Fatalf("cap==R-1: rounds=%d fixpoint=%v, want %d/false", rounds, fixpoint, unlimited-1)
+		}
+	})
+
+	t.Run("naive", func(t *testing.T) {
+		p, rules, path := chainProgram(n)
+		unlimited, fixpoint := p.Solve(context.Background(), rules, 0)
+		if !fixpoint || path.Count() != fullTuples {
+			t.Fatalf("unlimited solve: rounds=%d fixpoint=%v count=%d", unlimited, fixpoint, path.Count())
+		}
+
+		p2, rules2, _ := chainProgram(n)
+		rounds, fixpoint := p2.Solve(context.Background(), rules2, unlimited)
+		if rounds != unlimited || !fixpoint {
+			t.Fatalf("cap==R: rounds=%d fixpoint=%v, want %d/true", rounds, fixpoint, unlimited)
+		}
+
+		p3, rules3, _ := chainProgram(n)
+		rounds, fixpoint = p3.Solve(context.Background(), rules3, unlimited-1)
+		if rounds != unlimited-1 || fixpoint {
+			t.Fatalf("cap==R-1: rounds=%d fixpoint=%v, want %d/false", rounds, fixpoint, unlimited-1)
+		}
+	})
+}

@@ -284,7 +284,12 @@ func (p *Program) derive(r *Rule, deltaIdx int, delta bdd.Node) bdd.Node {
 // It returns the number of rounds and whether a fixpoint was reached:
 // fixpoint is false exactly when maxRounds (>0) cut the iteration off
 // early, in which case the relations hold a sound under-approximation
-// of the fixpoint — callers must not treat it as converged.
+// of the fixpoint — callers must not treat it as converged. The cutoff
+// contract — shared verbatim with Solve and pointer's solver — is "run
+// at most maxRounds rounds": exactly maxRounds rounds execute when the
+// cap bites, the returned round count equals the cap, and a run that
+// quiesces within the cap still reports fixpoint — even at exactly the
+// cap (TestSolverCutoffBoundary pins all three boundaries).
 //
 // When ctx carries a trace.Tracer the solve becomes a span with one
 // child span per round and, inside each round, one child per rule
@@ -349,12 +354,17 @@ func (p *Program) SolveSemiNaive(ctx context.Context, rules []*Rule, maxRounds i
 			solve.End(trace.Int("rounds", rounds), trace.Bool("fixpoint", true))
 			return rounds, true
 		}
-		rounds++
-		if maxRounds > 0 && rounds > maxRounds {
+		// Cutoff semantics, shared with Solve and pointer.Result.solve:
+		// run at most maxRounds rounds. `rounds` counts completed
+		// rounds here, so the check mirrors the solvers' post-round
+		// `rounds >= maxRounds` test exactly (pinned by
+		// TestSolverCutoffBoundary).
+		if maxRounds > 0 && rounds >= maxRounds {
 			solve.Event("max_rounds_exceeded", trace.Int("max_rounds", maxRounds))
-			solve.End(trace.Int("rounds", rounds-1), trace.Bool("fixpoint", false))
-			return rounds - 1, false
+			solve.End(trace.Int("rounds", rounds), trace.Bool("fixpoint", false))
+			return rounds, false
 		}
+		rounds++
 		roundSp = solve.Child("round")
 		if solve != nil {
 			nodes0 = m.NumNodes()
@@ -414,8 +424,9 @@ func (p *Program) endRoundSpan(sp *trace.Span, round int, delta map[*Relation]bd
 // round applies every rule once; rounds repeat while anything changed).
 // It returns the number of rounds and whether a fixpoint was reached
 // (false exactly when maxRounds > 0 cut the iteration off early; 0
-// means no limit). Tracing mirrors SolveSemiNaive: a span per solve,
-// per round, and per changed-rule application.
+// means no limit). The cutoff runs at most maxRounds rounds — the
+// contract SolveSemiNaive documents. Tracing mirrors SolveSemiNaive: a
+// span per solve, per round, and per changed-rule application.
 func (p *Program) Solve(ctx context.Context, rules []*Rule, maxRounds int) (int, bool) {
 	_, solve := trace.StartSpan(ctx, "datalog.solve")
 	if solve != nil {

@@ -23,6 +23,14 @@ func (m *Machine) call(name string, args []Value, pos cminor.Pos) (Value, error)
 	if err := m.burn(); err != nil {
 		return Value{}, err
 	}
+	// The depth budget covers every re-entry path into the Go call
+	// stack: direct CMinor recursion and cleanup callbacks invoked
+	// (recursively, via extern → killRegion) during region teardown.
+	m.depth++
+	defer func() { m.depth-- }()
+	if m.depth > m.opts.MaxDepth {
+		return Value{}, &BudgetError{Resource: "call-depth", Limit: m.opts.MaxDepth}
+	}
 	fo := m.info.Funcs[name]
 	if fo == nil || fo.Decl == nil || fo.Decl.Body == nil {
 		return m.extern(name, args, pos)
@@ -55,9 +63,17 @@ func (m *Machine) extern(name string, args []Value, pos cminor.Pos) (Value, erro
 	}
 	switch name {
 	case "rnew", "newsubregion":
-		return Value{Kind: RegionVal, Region: m.newRegion(regionArg(0), pos)}, nil
+		r, err := m.newRegion(regionArg(0), pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: RegionVal, Region: r}, nil
 	case "newregion":
-		return Value{Kind: RegionVal, Region: m.newRegion(nil, pos)}, nil
+		r, err := m.newRegion(nil, pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: RegionVal, Region: r}, nil
 	case "ralloc", "rstralloc", "rstrdup", "rarrayalloc":
 		o, err := m.newObject(regionArg(0), pos)
 		if err != nil {
@@ -65,13 +81,20 @@ func (m *Machine) extern(name string, args []Value, pos cminor.Pos) (Value, erro
 		}
 		return Value{Kind: PtrVal, Ptr: o.Field(0)}, nil
 	case "apr_pool_create", "apr_pool_create_ex":
-		r := m.newRegion(regionArg(1), pos)
+		r, err := m.newRegion(regionArg(1), pos)
+		if err != nil {
+			return Value{}, err
+		}
 		if len(args) > 0 && args[0].Kind == PtrVal && args[0].Ptr != nil {
 			m.storeCell(args[0].Ptr, Value{Kind: RegionVal, Region: r})
 		}
 		return Value{Kind: IntVal, Int: 0}, nil
 	case "svn_pool_create":
-		return Value{Kind: RegionVal, Region: m.newRegion(regionArg(0), pos)}, nil
+		r, err := m.newRegion(regionArg(0), pos)
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Kind: RegionVal, Region: r}, nil
 	case "apr_palloc", "apr_pcalloc", "apr_pstrdup", "apr_pstrndup",
 		"apr_psprintf", "apr_pmemdup", "apr_hash_make", "apr_array_make":
 		r := regionArg(0)

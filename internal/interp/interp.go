@@ -11,6 +11,7 @@
 package interp
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cminor"
@@ -186,15 +187,56 @@ type Options struct {
 	// Args are integer arguments passed to the entry function
 	// (drives branches in property tests).
 	Args []int64
-	// Fuel bounds executed statements; exceeding it aborts the run
-	// with ErrFuel (default 1 << 20).
+	// Fuel bounds executed statements and expressions; exceeding it
+	// aborts the run with a fuel BudgetError (default 1 << 20).
 	Fuel int
 	// MaxObjects bounds allocation count (default 1 << 16).
 	MaxObjects int
+	// MaxDepth bounds the interpreter call-stack depth — CMinor call
+	// frames plus cleanup callbacks run recursively by region teardown
+	// — so generated deep recursion aborts with a typed BudgetError
+	// instead of overflowing the Go stack (default 2048).
+	MaxDepth int
+	// MaxRegionDepth bounds region-tree nesting: creating a region
+	// whose parent chain is already this long fails with a BudgetError
+	// (default 1 << 14). Deep nesting is quadratic to tear down
+	// (killRegion walks ancestor chains), so the oracle's call-depth
+	// inflation cannot turn the interpreter into the hang.
+	MaxRegionDepth int
 }
 
-// ErrFuel is returned when execution exceeds the fuel bound.
-var ErrFuel = fmt.Errorf("interp: out of fuel")
+// BudgetError reports an exceeded execution budget. It is the typed
+// abort the differential oracle relies on: a budgeted run ends with a
+// classifiable error instead of hanging or overflowing the stack.
+type BudgetError struct {
+	// Resource is the exhausted budget: "fuel", "objects",
+	// "call-depth", or "region-depth".
+	Resource string
+	// Limit is the configured bound that was hit.
+	Limit int
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("interp: %s budget exceeded (limit %d)", e.Resource, e.Limit)
+}
+
+// Is matches ErrBudget (any exhausted budget) and any *BudgetError
+// with the same Resource, so errors.Is(err, ErrFuel) holds for every
+// fuel exhaustion regardless of the configured limit.
+func (e *BudgetError) Is(target error) bool {
+	if target == ErrBudget {
+		return true
+	}
+	t, ok := target.(*BudgetError)
+	return ok && t.Resource == e.Resource
+}
+
+// ErrBudget matches every BudgetError via errors.Is.
+var ErrBudget = errors.New("interp: budget exceeded")
+
+// ErrFuel matches fuel exhaustion via errors.Is (and remains the
+// historical name for the statement-budget error).
+var ErrFuel error = &BudgetError{Resource: "fuel"}
 
 // Machine executes one program.
 type Machine struct {
@@ -205,6 +247,7 @@ type Machine struct {
 	globals map[string]*Cell
 	effects *Effects
 	fuel    int
+	depth   int
 
 	strings  map[string]*Object
 	backings map[*Cell]*Object
@@ -230,6 +273,12 @@ func Run(info *cminor.Info, opts Options, files ...*cminor.File) (*Effects, erro
 	}
 	if opts.MaxObjects == 0 {
 		opts.MaxObjects = 1 << 16
+	}
+	if opts.MaxDepth == 0 {
+		opts.MaxDepth = 2048
+	}
+	if opts.MaxRegionDepth == 0 {
+		opts.MaxRegionDepth = 1 << 14
 	}
 	m := &Machine{
 		info:     info,
@@ -283,20 +332,27 @@ type frame struct {
 func (m *Machine) burn() error {
 	m.fuel--
 	if m.fuel <= 0 {
-		return ErrFuel
+		return &BudgetError{Resource: "fuel", Limit: m.opts.Fuel}
 	}
 	return nil
 }
 
-func (m *Machine) newRegion(parent *Region, pos cminor.Pos) *Region {
+func (m *Machine) newRegion(parent *Region, pos cminor.Pos) (*Region, error) {
+	depth := 0
+	for x := parent; x != nil; x = x.Parent {
+		depth++
+	}
+	if depth >= m.opts.MaxRegionDepth {
+		return nil, &BudgetError{Resource: "region-depth", Limit: m.opts.MaxRegionDepth}
+	}
 	r := &Region{ID: len(m.effects.Regions), Parent: parent, Site: pos, Alive: true}
 	m.effects.Regions = append(m.effects.Regions, r)
-	return r
+	return r, nil
 }
 
 func (m *Machine) newObject(owner *Region, pos cminor.Pos) (*Object, error) {
 	if len(m.effects.Objects) >= m.opts.MaxObjects {
-		return nil, fmt.Errorf("interp: object limit exceeded")
+		return nil, &BudgetError{Resource: "objects", Limit: m.opts.MaxObjects}
 	}
 	o := &Object{ID: len(m.effects.Objects), Owner: owner, Site: pos, cells: make(map[int64]*Cell)}
 	m.effects.Objects = append(m.effects.Objects, o)

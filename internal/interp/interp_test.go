@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/cminor"
@@ -227,9 +228,117 @@ int main(void) { return loop(0); }`
 		t.Fatalf("parse: %v", errs)
 	}
 	info := cminor.Check(f)
-	_, err := Run(info, Options{Fuel: 10000}, f)
-	if err != ErrFuel {
+	// A depth budget above the fuel bound isolates the fuel path.
+	_, err := Run(info, Options{Fuel: 10000, MaxDepth: 1 << 20}, f)
+	if !errors.Is(err, ErrFuel) {
 		t.Fatalf("infinite recursion returned %v, want ErrFuel", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("fuel error %v does not match ErrBudget", err)
+	}
+}
+
+func TestCallDepthBudget(t *testing.T) {
+	src := `
+int loop(int n) { return loop(n + 1); }
+int main(void) { return loop(0); }`
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	// Plenty of fuel: the call-depth budget must fire first.
+	_, err := Run(info, Options{MaxDepth: 64}, f)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "call-depth" {
+		t.Fatalf("deep recursion returned %v, want call-depth BudgetError", err)
+	}
+	if be.Limit != 64 {
+		t.Fatalf("budget limit = %d, want 64", be.Limit)
+	}
+	if errors.Is(err, ErrFuel) {
+		t.Fatal("call-depth error must not match ErrFuel")
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Fatal("call-depth error must match ErrBudget")
+	}
+}
+
+func TestRegionDepthBudget(t *testing.T) {
+	src := rcPrelude + `
+int main(int n) {
+    region_t *r;
+    int i;
+    r = rnew(NULL);
+    for (i = 0; i < 100; i++) {
+        r = rnew(r);
+    }
+    return 0;
+}`
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	eff, err := Run(info, Options{MaxRegionDepth: 16}, f)
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Resource != "region-depth" {
+		t.Fatalf("deep nesting returned %v, want region-depth BudgetError", err)
+	}
+	// The partial effects up to the abort remain observable.
+	if len(eff.Regions) != 16 {
+		t.Fatalf("%d regions created before the budget, want 16", len(eff.Regions))
+	}
+	// Under the budget the same program completes.
+	if _, err := Run(info, Options{MaxRegionDepth: 1024}, f); err != nil {
+		t.Fatalf("nesting under budget failed: %v", err)
+	}
+}
+
+func TestCleanupRecursionCountsAgainstDepth(t *testing.T) {
+	// A cleanup that re-enters user code during killRegion must consume
+	// call-depth budget like any other call: a self-destroying cleanup
+	// chain terminates with a typed budget error rather than
+	// overflowing the Go stack.
+	aprDecls := `
+typedef struct apr_pool_t apr_pool_t;
+typedef long apr_status_t;
+typedef apr_status_t (*cleanup_t)(void *data);
+extern apr_status_t apr_pool_create(apr_pool_t **newp, apr_pool_t *parent);
+extern void apr_pool_destroy(apr_pool_t *p);
+extern void apr_pool_cleanup_register(apr_pool_t *p, const void *data, cleanup_t plain_cleanup, cleanup_t child_cleanup);
+`
+	src := aprDecls + `
+apr_pool_t *gp;
+apr_status_t boom(void *data) {
+    apr_pool_t *sub;
+    apr_pool_create(&sub, gp);
+    apr_pool_cleanup_register(sub, NULL, boom, NULL);
+    apr_pool_destroy(sub);
+    return 0;
+}
+int main(void) {
+    apr_pool_t *sub;
+    apr_pool_create(&gp, NULL);
+    apr_pool_create(&sub, gp);
+    apr_pool_cleanup_register(sub, NULL, boom, NULL);
+    apr_pool_destroy(sub);
+    return 0;
+}`
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	_, err := Run(info, Options{MaxDepth: 64}, f)
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("cleanup recursion returned %v, want a budget error", err)
 	}
 }
 

@@ -1,0 +1,79 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/workloads"
+)
+
+// Case is one program under test: a generated executable plus the
+// mutations applied on top of the generator's output.
+type Case struct {
+	Name string
+	Seed int64
+	Spec workloads.Spec
+	Exe  workloads.Exe
+	// Sources is the path -> source map after mutation.
+	Sources map[string]string
+	// Mutations describes the applied (and validated) mutations.
+	Mutations []string
+}
+
+// caseTemplates are the spec shapes the seed sweep cycles through.
+// Together they plant every Pattern kind, cover both region
+// interfaces, and include a multi-file shared-library package —
+// small enough that a full differential check stays fast.
+func caseTemplates() []workloads.Spec {
+	return []workloads.Spec{
+		{Name: "o-sibling", Exes: 1, Stages: 1, Depth: 1, Fanout: 1,
+			Interface: "apr", Plants: []workloads.Pattern{workloads.SiblingLeak}},
+		{Name: "o-iter", Exes: 1, Stages: 1, Depth: 2, Fanout: 1,
+			Interface: "apr", Plants: []workloads.Pattern{workloads.IteratorEscape}},
+		{Name: "o-string", Exes: 1, Stages: 1, Depth: 1, Fanout: 2,
+			Interface: "rc", Plants: []workloads.Pattern{workloads.StringShare}},
+		{Name: "o-invert", Exes: 1, Stages: 2, Depth: 1, Fanout: 1,
+			Interface: "apr", Plants: []workloads.Pattern{workloads.InvertedLifetime}},
+		{Name: "o-temp", Exes: 1, Stages: 1, Depth: 2, Fanout: 2,
+			Interface: "rc", Plants: []workloads.Pattern{workloads.TemporaryInconsistency}},
+		{Name: "o-alias", Exes: 1, Stages: 1, Depth: 1, Fanout: 1,
+			Interface: "apr", Plants: []workloads.Pattern{workloads.AliasFalsePositive}},
+		{Name: "o-mix", Exes: 1, Stages: 2, Depth: 2, Fanout: 2,
+			Interface: "apr", Plants: []workloads.Pattern{
+				workloads.SiblingLeak, workloads.InvertedLifetime}},
+		{Name: "o-lib", Exes: 1, Stages: 2, Depth: 2, Fanout: 1,
+			Interface: "apr", SharedLib: true,
+			Plants: []workloads.Pattern{workloads.SiblingLeak, workloads.IteratorEscape}},
+		{Name: "o-rc-mix", Exes: 1, Stages: 2, Depth: 2, Fanout: 1,
+			Interface: "rc", Plants: []workloads.Pattern{
+				workloads.StringShare, workloads.TemporaryInconsistency}},
+		{Name: "o-clean", Exes: 1, Stages: 2, Depth: 2, Fanout: 2,
+			Interface: "apr", Plants: nil},
+	}
+}
+
+// NewCase derives a case deterministically from the seed: the
+// template is chosen by cycling (so every template appears in any
+// window of len(templates) consecutive seeds), the package is
+// generated with the seed, and up to two mutations are applied —
+// every fourth seed stays unmutated so the pristine generator output
+// remains covered.
+func NewCase(seed int64) *Case {
+	templates := caseTemplates()
+	idx := int(((seed % int64(len(templates))) + int64(len(templates))) % int64(len(templates)))
+	spec := templates[idx]
+	pkg := workloads.Generate(spec, seed)
+	exe := pkg.Exes[0]
+	c := &Case{
+		Name:    fmt.Sprintf("%s-seed%d", spec.Name, seed),
+		Seed:    seed,
+		Spec:    spec,
+		Exe:     exe,
+		Sources: pkg.SourcesFor(exe),
+	}
+	if seed%4 != 0 {
+		rng := rand.New(rand.NewSource(seed*2654435761 + 1))
+		c.applyMutations(rng, 1+rng.Intn(2))
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+package oracle
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// CanonicalReport renders a report in a stable byte form containing
+// every result-bearing field — warnings (message, sites, regions,
+// rank, pair counts) and the relation-size statistics — while
+// excluding wall times and the per-phase cost breakdown, which are
+// legitimately nondeterministic. Backend parity and run-to-run
+// determinism are defined as byte equality of this form.
+func CanonicalReport(r *core.Report) []byte {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "warnings=%d\n", len(r.Warnings))
+	for i, w := range r.Warnings {
+		fmt.Fprintf(&sb, "w%d high=%t src=%s dst=%s off=%d pairs=%d srcreg=%q dstreg=%q cause=%q msg=%q\n",
+			i, w.High(), w.SrcPos, w.DstPos, w.IPair.Off, w.IPair.Pairs,
+			w.SrcRegion, w.DstRegion, w.Cause, w.Message)
+	}
+	s := r.Stats
+	fmt.Fprintf(&sb, "stats R=%d H=%d sub=%d own=%d heap=%d rpairs=%d opairs=%d ipairs=%d high=%d contexts=%d funcs=%d instrs=%d causes=%d highcauses=%d\n",
+		s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs,
+		s.High, s.Contexts, s.Funcs, s.Instrs, s.Causes, s.HighCauses)
+	return []byte(sb.String())
+}
+
+// ReportDigest is the hex SHA-256 of the canonical report form.
+func ReportDigest(r *core.Report) string {
+	sum := sha256.Sum256(CanonicalReport(r))
+	return hex.EncodeToString(sum[:])
+}

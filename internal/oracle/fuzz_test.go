@@ -1,0 +1,52 @@
+package oracle
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// FuzzAnalyzeOracle is the native fuzz face of the differential
+// harness: the fuzzer explores the seed space, each seed derives a
+// generated-and-mutated program, and the soundness/parity invariants
+// are the oracle. A failure message carries the minimized sources, so
+// a fuzz crash is immediately actionable without re-deriving the
+// case.
+//
+// Run bounded in CI: go test ./internal/oracle -run '^$' -fuzz FuzzAnalyzeOracle -fuzztime 20s
+func FuzzAnalyzeOracle(f *testing.F) {
+	// Seed the corpus so every template (and the unmutated stride)
+	// is covered before the fuzzer starts exploring.
+	for s := int64(0); s < 12; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		c := NewCase(seed)
+		h := NewHarness()
+		res, err := h.Check(c)
+		if err != nil {
+			// The generator plus validated mutations must always
+			// yield a checkable program; anything else is a harness
+			// or front-end bug worth failing on.
+			t.Fatalf("case %s unchecked: %v", c.Name, err)
+		}
+		bad := res.Unallowed()
+		if len(bad) == 0 {
+			return
+		}
+		min := Minimize(c.Sources, h.FailurePredicate(bad[0]), 0)
+		var sb strings.Builder
+		for _, v := range bad {
+			sb.WriteString("  " + v.String() + "\n")
+		}
+		paths := make([]string, 0, len(min))
+		for p := range min {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			sb.WriteString("--- minimized " + p + " ---\n" + min[p] + "\n")
+		}
+		t.Fatalf("seed %d (%s, mutations %v):\n%s", seed, c.Name, c.Mutations, sb.String())
+	})
+}

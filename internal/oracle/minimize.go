@@ -1,0 +1,143 @@
+package oracle
+
+import (
+	"sort"
+	"strings"
+)
+
+// Failing decides whether a candidate source set still exhibits the
+// failure being minimized. Predicates must return false for programs
+// the front end rejects (the shrinker deletes lines blindly and
+// relies on the predicate to discard ill-formed candidates).
+type Failing func(sources map[string]string) bool
+
+// Minimize greedily shrinks a failing source set while the predicate
+// keeps failing: whole files first (a shared library that is not part
+// of the failure drops in one step), then function bodies, then
+// individual statements. Greedy single-pass deletion repeated to a
+// fixpoint is not minimal in general but in practice reduces the
+// generator's output to a handful of lines. maxEvals bounds predicate
+// evaluations (each one is a full interpret-plus-analyze cycle);
+// <= 0 means the default of 400.
+func Minimize(sources map[string]string, stillFails Failing, maxEvals int) map[string]string {
+	if maxEvals <= 0 {
+		maxEvals = 400
+	}
+	evals := 0
+	try := func(cand map[string]string) bool {
+		if evals >= maxEvals {
+			return false
+		}
+		evals++
+		return stillFails(cand)
+	}
+
+	cur := copySources(sources)
+	if !try(cur) {
+		// The failure does not reproduce (or the budget is zero);
+		// return the input unchanged.
+		return cur
+	}
+
+	// Pass 0: drop whole files.
+	if len(cur) > 1 {
+		for _, p := range sortedPaths(cur) {
+			if len(cur) == 1 {
+				break
+			}
+			cand := copySources(cur)
+			delete(cand, p)
+			if try(cand) {
+				cur = cand
+			}
+		}
+	}
+
+	for pass := 0; pass < 4; pass++ {
+		progress := false
+		for _, p := range sortedPaths(cur) {
+			// Function-block deletion, last block first (later
+			// functions reference earlier ones, not vice versa).
+			blocks := topLevelBlocks(cur[p])
+			for i := len(blocks) - 1; i >= 0; i-- {
+				cand := copySources(cur)
+				cand[p] = deleteLines(cur[p], blocks[i][0], blocks[i][1])
+				if try(cand) {
+					cur = cand
+					progress = true
+					blocks = topLevelBlocks(cur[p])
+					i = len(blocks) // restart over fresh block list
+				}
+			}
+			// Statement deletion, bottom-up.
+			lines := strings.Split(cur[p], "\n")
+			for i := len(lines) - 1; i >= 0; i-- {
+				t := strings.TrimSpace(lines[i])
+				if !strings.HasSuffix(t, ";") || strings.HasPrefix(t, "extern") ||
+					strings.HasPrefix(t, "typedef") {
+					continue
+				}
+				cand := copySources(cur)
+				cand[p] = deleteLines(cur[p], i, i)
+				if try(cand) {
+					cur = cand
+					progress = true
+					lines = strings.Split(cur[p], "\n")
+				}
+			}
+		}
+		if !progress || evals >= maxEvals {
+			break
+		}
+	}
+	return cur
+}
+
+func copySources(in map[string]string) map[string]string {
+	out := make(map[string]string, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func sortedPaths(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for p := range m {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// topLevelBlocks finds [start, end] line ranges of top-level brace
+// blocks: a block opens at a column-0 line ending in "{" and closes
+// at the next column-0 "}" line. The generator (and hand-written
+// CMinor in this repo) follows that layout.
+func topLevelBlocks(src string) [][2]int {
+	lines := strings.Split(src, "\n")
+	var out [][2]int
+	start := -1
+	for i, l := range lines {
+		if start < 0 {
+			if len(l) > 0 && l[0] != ' ' && l[0] != '\t' && l[0] != '}' &&
+				strings.HasSuffix(strings.TrimRight(l, " \t"), "{") {
+				start = i
+			}
+		} else if strings.TrimRight(l, " \t") == "}" {
+			out = append(out, [2]int{start, i})
+			start = -1
+		}
+	}
+	return out
+}
+
+// deleteLines removes lines [from, to] (inclusive, 0-based).
+func deleteLines(src string, from, to int) string {
+	lines := strings.Split(src, "\n")
+	if from < 0 || to >= len(lines) || from > to {
+		return src
+	}
+	out := append(append([]string{}, lines[:from]...), lines[to+1:]...)
+	return strings.Join(out, "\n")
+}

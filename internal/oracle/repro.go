@@ -1,0 +1,91 @@
+package oracle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Repro is the persisted form of one failing case: everything needed
+// to reproduce and debug it without the harness — the seed, the
+// mutated sources, the minimized sources, the dynamic ground-truth
+// trace, and the canonical reports of both backends.
+type Repro struct {
+	Schema     string            `json:"schema"`
+	Name       string            `json:"name"`
+	Seed       int64             `json:"seed"`
+	Spec       string            `json:"spec"`
+	Mutations  []string          `json:"mutations,omitempty"`
+	Violations []Violation       `json:"violations"`
+	Dynamic    []string          `json:"dynamic_trace"`
+	Sources    map[string]string `json:"-"`
+	Minimized  map[string]string `json:"-"`
+}
+
+// ReproSchemaV1 versions the repro case.json document.
+const ReproSchemaV1 = "regionwiz/oracle-repro/v1"
+
+// NewRepro assembles a Repro from a checked case result. minimized
+// may be nil when the shrinker was not run.
+func NewRepro(res *CaseResult, minimized map[string]string) *Repro {
+	r := &Repro{
+		Schema:     ReproSchemaV1,
+		Name:       res.Case.Name,
+		Seed:       res.Case.Seed,
+		Spec:       res.Case.Spec.Name,
+		Mutations:  res.Case.Mutations,
+		Violations: res.Violations,
+		Sources:    res.Case.Sources,
+		Minimized:  minimized,
+	}
+	for _, d := range res.Dynamic {
+		r.Dynamic = append(r.Dynamic,
+			fmt.Sprintf("argc=%d class=%s %s -> %s", d.Argc, d.Class, d.Src, d.Dst))
+	}
+	return r
+}
+
+// Write persists the repro under dir: case.json, src/<path> for the
+// failing sources, min/<path> for the minimized ones, and
+// report-<config>-<backend>.txt canonical reports.
+func (r *Repro) Write(dir string, reports map[string][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "case.json"), append(meta, '\n'), 0o644); err != nil {
+		return err
+	}
+	writeTree := func(sub string, sources map[string]string) error {
+		if len(sources) == 0 {
+			return nil
+		}
+		d := filepath.Join(dir, sub)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return err
+		}
+		for p, src := range sources {
+			if err := os.WriteFile(filepath.Join(d, filepath.Base(p)), []byte(src), 0o644); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := writeTree("src", r.Sources); err != nil {
+		return err
+	}
+	if err := writeTree("min", r.Minimized); err != nil {
+		return err
+	}
+	for key, body := range reports {
+		name := "report-" + filepath.Base(filepath.Dir(key)) + "-" + filepath.Base(key) + ".txt"
+		if err := os.WriteFile(filepath.Join(dir, name), body, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

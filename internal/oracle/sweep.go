@@ -1,0 +1,231 @@
+package oracle
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/workloads"
+)
+
+// SummarySchemaV1 versions the sweep summary document.
+const SummarySchemaV1 = "regionwiz/oracle/v1"
+
+// SweepConfig configures a seed sweep.
+type SweepConfig struct {
+	// Seeds is the number of consecutive seeds checked, starting at
+	// Start.
+	Seeds int
+	Start int64
+	// Jobs bounds concurrent cases (0 = GOMAXPROCS).
+	Jobs int
+	// Harness defaults to NewHarness().
+	Harness *Harness
+	// ReproDir, when set, receives one subdirectory per failing case
+	// (minimized repro included). Empty disables artifact writing.
+	ReproDir string
+	// Minimize runs the shrinker on failing cases (slower, smaller
+	// artifacts).
+	Minimize bool
+}
+
+// Summary is the machine-readable sweep outcome, schema
+// regionwiz/oracle/v1.
+type Summary struct {
+	Schema  string `json:"schema"`
+	Seeds   int    `json:"seeds"`
+	Start   int64  `json:"start"`
+	Cases   int    `json:"cases"`
+	Mutated int    `json:"mutated"`
+	// Errors counts cases the harness could not check (front-end or
+	// analysis failure) — always a harness bug, never expected.
+	Errors       int `json:"errors"`
+	BudgetAborts int `json:"budget_aborts"`
+	// DynamicViolations counts the concrete ground-truth pairs
+	// observed across all cases.
+	DynamicViolations int `json:"dynamic_violations"`
+	// Soundness/Parity/Determinism count invariant failures;
+	// "allowed" are the explicitly allowlisted imprecision classes.
+	Soundness   ViolationCount `json:"soundness"`
+	Parity      ViolationCount `json:"parity"`
+	Determinism ViolationCount `json:"determinism"`
+	// PatternPlanted / PatternObserved count, per planted pattern
+	// kind, the cases planting it and the cases where a dynamic
+	// violation was classified to it — the oracle's coverage of the
+	// generator's bug catalog.
+	PatternPlanted  map[string]int `json:"pattern_planted"`
+	PatternObserved map[string]int `json:"pattern_observed"`
+	// AllowedByRule breaks the allowed count down by allowlist
+	// reason, so known imprecision stays visible in the document.
+	AllowedByRule map[string]int `json:"allowed_by_rule,omitempty"`
+	// Failures lists the unallowlisted violations (the sweep's
+	// verdict is clean iff this is empty).
+	Failures []Failure `json:"failures"`
+}
+
+// ViolationCount splits a violation kind into unallowlisted and
+// allowlisted occurrences.
+type ViolationCount struct {
+	Failed  int `json:"failed"`
+	Allowed int `json:"allowed"`
+}
+
+// Failure is one unallowlisted violation in the summary.
+type Failure struct {
+	Case      string    `json:"case"`
+	Seed      int64     `json:"seed"`
+	Mutations []string  `json:"mutations,omitempty"`
+	Violation Violation `json:"violation"`
+	// ReproDir is where the artifact was written ("" when artifact
+	// writing is disabled).
+	ReproDir string `json:"repro_dir,omitempty"`
+}
+
+// Clean reports whether the sweep upheld both invariants.
+func (s *Summary) Clean() bool {
+	return s.Errors == 0 && len(s.Failures) == 0
+}
+
+// Sweep checks Seeds consecutive cases and aggregates the outcome.
+func Sweep(ctx context.Context, cfg SweepConfig) (*Summary, error) {
+	h := cfg.Harness
+	if h == nil {
+		h = NewHarness()
+	}
+	seeds := make([]int64, cfg.Seeds)
+	for i := range seeds {
+		seeds[i] = cfg.Start + int64(i)
+	}
+	type outcome struct {
+		c   *Case
+		res *CaseResult
+		err error
+	}
+	results := pipeline.RunCorpus(ctx, seeds, cfg.Jobs, func(ctx context.Context, seed int64) (outcome, error) {
+		c := NewCase(seed)
+		res, err := h.Check(c)
+		return outcome{c: c, res: res, err: err}, nil
+	})
+
+	sum := &Summary{
+		Schema:          SummarySchemaV1,
+		Seeds:           cfg.Seeds,
+		Start:           cfg.Start,
+		PatternPlanted:  make(map[string]int),
+		PatternObserved: make(map[string]int),
+		AllowedByRule:   make(map[string]int),
+		Failures:        []Failure{},
+	}
+	for _, r := range results {
+		o := r.Out
+		sum.Cases++
+		if len(o.c.Mutations) > 0 {
+			sum.Mutated++
+		}
+		for _, p := range o.c.Exe.Plants {
+			sum.PatternPlanted[string(p.Pattern)]++
+		}
+		if o.err != nil {
+			sum.Errors++
+			sum.Failures = append(sum.Failures, Failure{
+				Case: o.c.Name, Seed: o.c.Seed, Mutations: o.c.Mutations,
+				Violation: Violation{Kind: "error", Detail: o.err.Error()},
+			})
+			continue
+		}
+		res := o.res
+		sum.BudgetAborts += res.BudgetAborts
+		sum.DynamicViolations += len(res.Dynamic)
+		for p := range res.ObservedPatterns {
+			sum.PatternObserved[string(p)]++
+		}
+		for _, v := range res.Violations {
+			count := &sum.Soundness
+			switch v.Kind {
+			case KindParity:
+				count = &sum.Parity
+			case KindDeterminism:
+				count = &sum.Determinism
+			}
+			if v.Allowed {
+				count.Allowed++
+				sum.AllowedByRule[v.Rule]++
+				continue
+			}
+			count.Failed++
+			f := Failure{Case: o.c.Name, Seed: o.c.Seed, Mutations: o.c.Mutations, Violation: v}
+			if cfg.ReproDir != "" {
+				dir := filepath.Join(cfg.ReproDir, o.c.Name)
+				var minimized map[string]string
+				if cfg.Minimize {
+					minimized = Minimize(o.c.Sources, h.FailurePredicate(v), 0)
+				}
+				if err := NewRepro(res, minimized).Write(dir, res.Reports); err == nil {
+					f.ReproDir = dir
+				} else {
+					f.Violation.Detail += fmt.Sprintf(" (repro write failed: %v)", err)
+				}
+			}
+			sum.Failures = append(sum.Failures, f)
+		}
+	}
+	sort.Slice(sum.Failures, func(i, j int) bool {
+		if sum.Failures[i].Seed != sum.Failures[j].Seed {
+			return sum.Failures[i].Seed < sum.Failures[j].Seed
+		}
+		return sum.Failures[i].Violation.Kind < sum.Failures[j].Violation.Kind
+	})
+	return sum, nil
+}
+
+// FailurePredicate returns a Failing that reproduces violation v: the
+// candidate still fails when checking it under only v's configuration
+// yields an unallowlisted violation of the same kind. Front-end
+// failures count as "does not reproduce", which is what the shrinker
+// needs to discard ill-formed deletions.
+func (h *Harness) FailurePredicate(v Violation) Failing {
+	cfgName := v.Config
+	// Determinism violations carry "config/backend" names.
+	if j := strings.IndexByte(cfgName, '/'); j >= 0 {
+		cfgName = cfgName[:j]
+	}
+	sub := &Harness{
+		Allow:     h.Allow,
+		Argcs:     h.Argcs,
+		Interp:    h.Interp,
+		AnalyzeFn: h.AnalyzeFn,
+	}
+	for _, cfg := range h.Configs {
+		if cfg.Name == cfgName {
+			sub.Configs = []AnalysisConfig{cfg}
+		}
+	}
+	if len(sub.Configs) == 0 {
+		sub.Configs = h.Configs
+	}
+	return func(cand map[string]string) bool {
+		res, err := sub.Check(&Case{Name: "minimize", Sources: cand})
+		if err != nil {
+			return false
+		}
+		for _, got := range res.Unallowed() {
+			if got.Kind == v.Kind {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// PatternKinds lists every pattern the generator can plant, for
+// coverage accounting.
+func PatternKinds() []workloads.Pattern {
+	return []workloads.Pattern{
+		workloads.SiblingLeak, workloads.IteratorEscape,
+		workloads.StringShare, workloads.InvertedLifetime,
+		workloads.TemporaryInconsistency, workloads.AliasFalsePositive,
+	}
+}

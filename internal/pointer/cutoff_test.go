@@ -1,0 +1,69 @@
+package pointer
+
+import (
+	"testing"
+)
+
+// copyChainSrc propagates a points-to fact against instruction order,
+// so every copy costs one fixpoint round: the solver needs several
+// rounds plus one verification round to converge.
+const copyChainSrc = `
+extern void *malloc(unsigned long n);
+int main(void) {
+    int *a; int *b; int *c; int *d;
+    d = c;
+    c = b;
+    b = a;
+    a = malloc(4);
+    return 0;
+}`
+
+// TestSolverCutoffBoundary pins the pointer solver to the same cutoff
+// contract as the datalog solvers (see datalog.TestSolverCutoffBoundary):
+// at most MaxRounds rounds run; Rounds reports exactly how many ran;
+// Converged is true iff a full no-change round verified the fixpoint
+// within the cap.
+func TestSolverCutoffBoundary(t *testing.T) {
+	unlimited := analyzeCfg(t, copyChainSrc, testConfig)
+	if !unlimited.Converged {
+		t.Fatal("unlimited solve did not converge")
+	}
+	r := unlimited.Rounds
+	if r < 3 {
+		t.Fatalf("copy chain converged in %d rounds; too few to exercise the cap", r)
+	}
+	dPts := func(res *Result) int {
+		return len(res.PointsTo(varOf(res, "main", "d"), 0))
+	}
+	if dPts(unlimited) != 1 {
+		t.Fatalf("d points to %d objects, want 1", dPts(unlimited))
+	}
+
+	// Cap at exactly the convergence round count: identical outcome.
+	cfg := testConfig
+	cfg.MaxRounds = r
+	atCap := analyzeCfg(t, copyChainSrc, cfg)
+	if atCap.Rounds != r || !atCap.Converged {
+		t.Fatalf("cap==R: Rounds=%d Converged=%v, want %d/true", atCap.Rounds, atCap.Converged, r)
+	}
+
+	// One round short: exactly MaxRounds rounds run, Converged false —
+	// the final fact may already be present (the last unlimited round
+	// was verification-only), but the result is unverified.
+	cfg.MaxRounds = r - 1
+	cut := analyzeCfg(t, copyChainSrc, cfg)
+	if cut.Rounds != r-1 || cut.Converged {
+		t.Fatalf("cap==R-1: Rounds=%d Converged=%v, want %d/false", cut.Rounds, cut.Converged, r-1)
+	}
+
+	// Two short: the chain's tail fact is genuinely missing — the
+	// documented under-approximation of a cut-off solve.
+	cfg.MaxRounds = r - 2
+	cut2 := analyzeCfg(t, copyChainSrc, cfg)
+	if cut2.Rounds != r-2 || cut2.Converged {
+		t.Fatalf("cap==R-2: Rounds=%d Converged=%v, want %d/false", cut2.Rounds, cut2.Converged, r-2)
+	}
+	if got := dPts(cut2); got != 0 {
+		t.Fatalf("cut-off solve already completed d's points-to set (%d)", got)
+	}
+}

@@ -357,7 +357,10 @@ func (r *Result) solve(ctx context.Context) {
 		}
 		if r.Config.MaxRounds > 0 && r.Rounds >= r.Config.MaxRounds {
 			// Not a fixpoint: the caller sees Converged == false rather
-			// than a silently truncated result.
+			// than a silently truncated result. The cutoff contract is
+			// the datalog solvers' — run at most MaxRounds rounds; a
+			// solve that quiesces in exactly MaxRounds rounds reports
+			// Converged (the !changed branch above wins the tie).
 			sp.Event("max_rounds_exceeded", trace.Int("max_rounds", r.Config.MaxRounds))
 			sp.End(trace.Int("rounds", r.Rounds), trace.Bool("converged", false))
 			return
