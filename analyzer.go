@@ -24,6 +24,10 @@ type ServiceStats = service.Stats
 // (fresh run, cache hit, or coalesced onto an in-flight run).
 type Result = service.Result
 
+// DeltaInfo describes how a delta request resolved against its base
+// snapshot (Result.Delta; nil on full requests).
+type DeltaInfo = service.DeltaInfo
+
 // Analyzer is a reusable, concurrency-safe analysis handle. Unlike
 // the one-shot package functions it keeps a content-addressed result
 // cache and a bounded worker pool between calls, so repeating an
@@ -79,6 +83,17 @@ func (a *Analyzer) AnalyzeFiles(ctx context.Context, paths ...string) (*Report, 
 // disposition.
 func (a *Analyzer) AnalyzeResult(ctx context.Context, sources map[string]string) (*Result, error) {
 	return a.svc.Analyze(ctx, a.opts, sources)
+}
+
+// AnalyzeDelta re-analyzes the source set of a previous result — named
+// by its Key — with changed paths overwritten or added and removed
+// paths deleted, reusing the base run's per-file front end. If the
+// base snapshot has been evicted the call fails with an
+// ErrSnapshotGone-kind error; retry with AnalyzeResult and the full
+// sources. The report is the one the equivalent full request would
+// produce, and the result's Key is a valid base for the next delta.
+func (a *Analyzer) AnalyzeDelta(ctx context.Context, base string, changed map[string]string, removed []string) (*Result, error) {
+	return a.svc.AnalyzeDelta(ctx, a.opts, base, changed, removed)
 }
 
 // Options returns the handle's normalized options.

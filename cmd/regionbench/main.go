@@ -7,6 +7,7 @@
 //
 //	regionbench -table 7|8|11|all [-seed N] [-scale small|paper]
 //	regionbench -json out.json [-jobs N]
+//	regionbench -edit-loop N [-json out.json]
 //	regionbench ... [-backend explicit|bdd] [-bdd-node-size N] [-bdd-cache-ratio N]
 //
 // The -json mode analyzes every executable of the corpus through a
@@ -48,6 +49,7 @@ func main() {
 	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	editLoop := flag.Int("edit-loop", 0, "steady-state incremental mode: split the largest workload into files, then re-analyze N single-file edits against the previous snapshot (with -json, writes schema regionbench/incremental/v1)")
 	oracleMode := flag.Bool("oracle", false, "run the differential soundness/parity oracle sweep instead of benchmarks")
 	oracleSeeds := flag.Int("seeds", 100, "number of oracle sweep seeds (with -oracle)")
 	oracleStart := flag.Int64("seed-start", 0, "first oracle sweep seed (with -oracle)")
@@ -87,6 +89,14 @@ func main() {
 	pkgs := make([]*workloads.Package, len(specs))
 	for i, spec := range specs {
 		pkgs[i] = workloads.Generate(spec, *seed)
+	}
+
+	if *editLoop > 0 {
+		if err := runEditLoop(*jsonPath, *editLoop, *seed, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *jsonPath != "" {

@@ -25,6 +25,12 @@
 //	-refine            enable the def-use (Figure 5(b)) refinement
 //	-jobs N            analyze N file sets concurrently (default GOMAXPROCS)
 //	-timeout D         abort the whole run after D (e.g. 30s, 5m)
+//	-watch             poll the arguments and re-analyze on change,
+//	                   printing only the warning diff; unchanged files
+//	                   reuse the previous run's parse/check/lower work
+//	                   and rapid saves are debounced (other output flags
+//	                   do not apply)
+//	-watch-interval D  poll interval for -watch (default 500ms)
 //	-phase-stats       print the per-phase pipeline cost table
 //	-trace f           write a Chrome trace_event JSON trace to f
 //	                   (open in chrome://tracing or ui.perfetto.dev;
@@ -68,6 +74,8 @@ func run() int {
 	jobs := flag.Int("jobs", 0, "number of file sets analyzed concurrently (0 = GOMAXPROCS)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseStats := flag.Bool("phase-stats", false, "print the per-phase pipeline cost table")
+	watch := flag.Bool("watch", false, "re-analyze on file change, printing only the warning diff")
+	watchInterval := flag.Duration("watch-interval", 500*time.Millisecond, "poll interval for -watch")
 	traceOut := flag.String("trace", "", "write a Chrome trace_event JSON trace to this file")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -108,6 +116,16 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "regionwiz: unknown -backend %q\n", *backend)
 		return 2
+	}
+
+	if *watch {
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return runWatch(ctx, flag.Args(), opts, *watchInterval)
 	}
 
 	sets, err := fileSets(flag.Args())

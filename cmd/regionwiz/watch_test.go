@@ -1,0 +1,242 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	regionwiz "repro"
+)
+
+const watchLib = `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+struct conn_t { int fd; struct conn_t *next; };
+struct conn_t *mkconn(region_t *r) {
+    struct conn_t *c;
+    c = ralloc(r);
+    return c;
+}
+void conn_link(struct conn_t *x, struct conn_t *y) {
+    x->next = y;
+}`
+
+func watchMain(body string) string {
+	return `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+struct conn_t;
+extern struct conn_t *mkconn(region_t *r);
+extern void conn_link(struct conn_t *x, struct conn_t *y);
+int main(void) {
+    region_t *r;
+    region_t *subr;
+    struct conn_t *a;
+    struct conn_t *b;
+    r = rnew(NULL);
+    subr = rnew(r);
+    a = mkconn(r);
+    b = mkconn(subr);
+` + body + `
+    return 0;
+}`
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestWatcher builds a watcher over a temp dir with lib.c/main.c
+// and runs the initial analysis.
+func newTestWatcher(t *testing.T, body string) (*watcher, string, *bytes.Buffer) {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "lib.c"), watchLib)
+	writeFile(t, filepath.Join(dir, "main.c"), watchMain(body))
+	an, err := regionwiz.New(regionwiz.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { an.Close() })
+	var out bytes.Buffer
+	w := newWatcher([]string{dir}, an, &out, &out)
+	w.analyze(context.Background(), w.scan())
+	return w, dir, &out
+}
+
+// settle ticks twice: once to buffer the changed scan (debounce),
+// once to confirm and analyze.
+func settle(w *watcher) {
+	w.tick(context.Background())
+	w.tick(context.Background())
+}
+
+func TestWatchEditPrintsWarningDiff(t *testing.T) {
+	w, dir, out := newTestWatcher(t, "conn_link(a, b);")
+	if w.baseKey == "" {
+		t.Fatalf("initial analysis produced no base key: %s", out.String())
+	}
+	first := out.String()
+	if !strings.Contains(first, "full analysis") {
+		t.Fatalf("initial run not reported as full: %s", first)
+	}
+	initialWarnings := append([]string(nil), w.warnings...)
+
+	out.Reset()
+	writeFile(t, filepath.Join(dir, "main.c"), watchMain("conn_link(b, a);"))
+	settle(w)
+	text := out.String()
+	if !strings.Contains(text, "delta: 1 reused, 1 changed, 0 removed") {
+		t.Fatalf("edit did not take the delta path: %s", text)
+	}
+	if !strings.Contains(text, "+ ") && !strings.Contains(text, "- ") {
+		t.Fatalf("flipping the link direction printed no warning diff: %s", text)
+	}
+	if reflect.DeepEqual(w.warnings, initialWarnings) {
+		t.Fatal("warning set unchanged across a semantic edit")
+	}
+
+	// An unchanged tick is silent and needs no debounce reset.
+	out.Reset()
+	w.tick(context.Background())
+	if out.Len() != 0 {
+		t.Fatalf("quiet tick produced output: %s", out.String())
+	}
+}
+
+func TestWatchDebouncesRapidSaves(t *testing.T) {
+	w, dir, out := newTestWatcher(t, "conn_link(a, b);")
+	out.Reset()
+
+	// A save burst: every tick sees different content, so no analysis
+	// runs until the files hold still for two consecutive scans.
+	for i, body := range []string{"conn_link(b, a);", "conn_link(a, b);", "conn_link(b, a);"} {
+		writeFile(t, filepath.Join(dir, "main.c"), watchMain(body+" /* save "+string(rune('0'+i))+" */"))
+		w.tick(context.Background())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("analysis ran mid-burst: %s", out.String())
+	}
+	settle(w)
+	if !strings.Contains(out.String(), "delta:") {
+		t.Fatalf("settled burst did not analyze: %s", out.String())
+	}
+}
+
+func TestWatchDeletedFile(t *testing.T) {
+	w, dir, out := newTestWatcher(t, "conn_link(a, b);")
+	out.Reset()
+
+	// Deleting a watched file is a removal, not a crash: the delta
+	// carries it and the remaining file still analyzes (main.c alone
+	// references externs only, which is a complete open program here).
+	if err := os.Remove(filepath.Join(dir, "lib.c")); err != nil {
+		t.Fatal(err)
+	}
+	settle(w)
+	text := out.String()
+	if !strings.Contains(text, "1 removed") {
+		t.Fatalf("deletion not reported as a removal: %s", text)
+	}
+
+	// Deleting everything parks the watcher without crashing...
+	if err := os.Remove(filepath.Join(dir, "main.c")); err != nil {
+		t.Fatal(err)
+	}
+	settle(w)
+	if !strings.Contains(out.String(), "no source files remain") {
+		t.Fatalf("empty set not reported: %s", out.String())
+	}
+
+	// ...and recreating the files resumes analysis.
+	out.Reset()
+	writeFile(t, filepath.Join(dir, "lib.c"), watchLib)
+	writeFile(t, filepath.Join(dir, "main.c"), watchMain("conn_link(a, b);"))
+	settle(w)
+	if !strings.Contains(out.String(), "warning(s)") {
+		t.Fatalf("watcher did not recover after recreation: %s", out.String())
+	}
+}
+
+// TestWatchScanToleratesVanishedLooseFile pins the scan/read race: a
+// loose file argument that disappears after the watcher starts is
+// dropped from the set silently instead of failing the scan.
+func TestWatchScanToleratesVanishedLooseFile(t *testing.T) {
+	dir := t.TempDir()
+	keep := filepath.Join(dir, "keep.c")
+	gone := filepath.Join(dir, "gone.c")
+	writeFile(t, keep, "int main(void) { return 0; }\n")
+	writeFile(t, gone, "int unused(void) { return 1; }\n")
+
+	an, err := regionwiz.New(regionwiz.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer an.Close()
+	var out bytes.Buffer
+	w := newWatcher([]string{keep, gone}, an, &out, &out)
+
+	if got := w.scan(); len(got) != 2 {
+		t.Fatalf("initial scan saw %d files, want 2", len(got))
+	}
+	if err := os.Remove(gone); err != nil {
+		t.Fatal(err)
+	}
+	got := w.scan()
+	if len(got) != 1 {
+		t.Fatalf("scan after deletion saw %d files, want 1", len(got))
+	}
+	if _, ok := got[keep]; !ok {
+		t.Fatalf("surviving file missing from scan: %v", got)
+	}
+	// The stale content cache entry is dropped too.
+	if _, ok := w.contents[gone]; ok {
+		t.Fatal("deleted file still cached")
+	}
+}
+
+func TestWatchBrokenEditReportsAndRecovers(t *testing.T) {
+	w, dir, out := newTestWatcher(t, "conn_link(a, b);")
+	goodKey := w.baseKey
+	out.Reset()
+
+	writeFile(t, filepath.Join(dir, "main.c"), watchMain("conn_link(a, b;")) // syntax error
+	settle(w)
+	if !strings.Contains(out.String(), "watch:") {
+		t.Fatalf("broken edit produced no error line: %s", out.String())
+	}
+	if w.baseKey != goodKey {
+		t.Fatal("failed run replaced the good base key")
+	}
+	// The broken state is not retried on quiet ticks.
+	out.Reset()
+	w.tick(context.Background())
+	if out.Len() != 0 {
+		t.Fatalf("broken state re-analyzed without a change: %s", out.String())
+	}
+
+	writeFile(t, filepath.Join(dir, "main.c"), watchMain("conn_link(a, b);"))
+	settle(w)
+	if !strings.Contains(out.String(), "warning(s)") {
+		t.Fatalf("fixed edit did not analyze: %s", out.String())
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	added, removed := diffLines([]string{"a", "b", "b"}, []string{"b", "c"})
+	if !reflect.DeepEqual(added, []string{"c"}) {
+		t.Fatalf("added = %v", added)
+	}
+	if !reflect.DeepEqual(removed, []string{"a", "b"}) {
+		t.Fatalf("removed = %v", removed)
+	}
+}

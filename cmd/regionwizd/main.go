@@ -20,6 +20,15 @@
 //	                   key is present only when requested and carries a
 //	                   Chrome trace_event document, schema
 //	                   "regionwiz/trace/v1")
+//	                   Delta form (schema "regionwiz/delta/v1"): instead
+//	                   of "sources", send {"base": "<key of a prior
+//	                   response>", "changed": {"path": "content", ...},
+//	                   "removed": ["path", ...]} — the daemon reuses the
+//	                   base run's per-file front end and answers with the
+//	                   same report the full request would produce plus a
+//	                   "delta" block. If the base snapshot was evicted the
+//	                   response is 409 with kind "snapshot_gone"; resend
+//	                   the full sources.
 //	GET  /v1/healthz   liveness probe
 //	GET  /v1/metrics   Prometheus text exposition (counters, gauges, and
 //	                   latency histograms: regionwizd_analyze_duration_seconds,
@@ -37,6 +46,8 @@
 //	-workers N            concurrent pipeline runs (default GOMAXPROCS)
 //	-queue-depth N        waiting requests beyond the pool (default 64)
 //	-cache-entries N      LRU result cache size (default 128; -1 disables)
+//	-snapshot-entries N   front-end snapshot store size for delta requests
+//	                      (default 16; -1 disables delta analysis)
 //	-request-timeout D    per-request deadline, queue wait included (default 2m)
 //	-bdd-node-size N      initial BDD node-table capacity for bdd-backend
 //	                      runs (0 = kernel default, 8192)
@@ -75,6 +86,7 @@ func run() int {
 	workers := flag.Int("workers", 0, "concurrent pipeline runs (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "waiting requests beyond the worker pool")
 	cacheEntries := flag.Int("cache-entries", 128, "LRU result cache size (-1 disables caching)")
+	snapshotEntries := flag.Int("snapshot-entries", 0, "front-end snapshot store size for delta requests (0 = default 16, -1 disables)")
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for bdd-backend runs (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
@@ -91,11 +103,12 @@ func run() int {
 	slog.SetDefault(logger)
 
 	svc := service.New(service.Config{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		CacheEntries:   *cacheEntries,
-		RequestTimeout: *requestTimeout,
-		BDD:            bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio},
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		CacheEntries:    *cacheEntries,
+		SnapshotEntries: *snapshotEntries,
+		RequestTimeout:  *requestTimeout,
+		BDD:             bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio},
 	})
 	server := &http.Server{
 		Addr:              *addr,

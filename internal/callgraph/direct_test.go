@@ -1,0 +1,146 @@
+package callgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cminor"
+	"repro/internal/ir"
+)
+
+func lower(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	return ir.Lower(info, f)
+}
+
+// requireParity asserts BuildDirect accepts the program and produces a
+// graph identical to the full fixpoint's in every field a consumer
+// reads.
+func requireParity(t *testing.T, src string) {
+	t.Helper()
+	prog := lower(t, src)
+	direct, ok := BuildDirect(prog, []string{"main"}, nil)
+	if !ok {
+		t.Fatal("BuildDirect rejected a direct-call program")
+	}
+	full := BuildEntries(prog, []string{"main"}, nil)
+	if !reflect.DeepEqual(direct.Edges, full.Edges) {
+		t.Fatalf("edges differ:\ndirect: %v\nfull:   %v", direct.Edges, full.Edges)
+	}
+	if !reflect.DeepEqual(direct.ExternCalls, full.ExternCalls) {
+		t.Fatalf("extern calls differ:\ndirect: %v\nfull:   %v", direct.ExternCalls, full.ExternCalls)
+	}
+	if !reflect.DeepEqual(direct.Callers, full.Callers) {
+		t.Fatalf("callers differ:\ndirect: %v\nfull:   %v", direct.Callers, full.Callers)
+	}
+	if !reflect.DeepEqual(direct.Reachable, full.Reachable) {
+		t.Fatalf("reachable differs:\ndirect: %v\nfull:   %v", direct.Reachable, full.Reachable)
+	}
+	if direct.Entry != full.Entry || !reflect.DeepEqual(direct.Entries, full.Entries) {
+		t.Fatalf("entries differ: %v/%v vs %v/%v", direct.Entry, direct.Entries, full.Entry, full.Entries)
+	}
+	// On a direct-call program the fixpoint's vF relation is vacuous;
+	// the linear scan never populates one at all.
+	if len(direct.VF) != 0 || len(full.VF) != 0 {
+		t.Fatalf("vF not vacuous: direct %d entries, full %d", len(direct.VF), len(full.VF))
+	}
+}
+
+func TestBuildDirectParity(t *testing.T) {
+	cases := map[string]string{
+		"plain calls": `
+int helper(int x) { return x; }
+int twice(int x) { return helper(helper(x)); }
+int main(void) { return twice(1); }`,
+		"externs and dead code": `
+extern void *malloc(unsigned long n);
+extern void free(void *p);
+int used(void) { malloc(8); return 1; }
+int dead(void) { return 2; }
+int main(void) { free(0); return used(); }`,
+		"recursion": `
+int even(int n);
+int odd(int n) { if (n == 0) return 0; return even(n - 1); }
+int even(int n) { if (n == 0) return 1; return odd(n - 1); }
+int main(void) { return even(10); }`,
+		"implicit thread entry": `
+extern int pthread_create(void *t, void *attr, void *(*entry)(void *), void *arg);
+void * worker(void *p) { return p; }
+int main(void) {
+    pthread_create(0, 0, worker, 0);
+    return 0;
+}`,
+		"implicit cleanup register": `
+typedef struct apr_pool_t apr_pool_t;
+extern void apr_pool_cleanup_register(apr_pool_t *p, const void *data,
+    long (*plain)(void *), long (*child)(void *));
+long my_cleanup(void *d) { return 0; }
+int main(void) {
+    apr_pool_cleanup_register(0, 0, my_cleanup, my_cleanup);
+    return 0;
+}`,
+		"global initializers": `
+int setup(void) { return 1; }
+int x = 3;
+int main(void) { return setup() + x; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) { requireParity(t, src) })
+	}
+}
+
+func TestBuildDirectBailsOnFunctionValues(t *testing.T) {
+	cases := map[string]string{
+		"pointer via variable": `
+int a(int x) { return x; }
+int main(int argc) {
+    int (*fp)(int);
+    fp = a;
+    return fp(0);
+}`,
+		"pointer via struct field": `
+struct ops { int (*run)(int); };
+int impl(int x) { return x; }
+int main(void) {
+    struct ops o;
+    struct ops *p;
+    p = &o;
+    p->run = impl;
+    return p->run(3);
+}`,
+		"function passed to defined function": `
+int work(int x) { return x; }
+int invoke(int (*fn)(int)) { return fn(7); }
+int main(void) { return invoke(work); }`,
+		"function passed to unregistered extern slot": `
+extern void takes_fn(int (*fn)(int));
+int work(int x) { return x; }
+int main(void) { takes_fn(work); return 0; }`,
+		"function stored by global initializer": `
+int setup(void) { return 1; }
+int (*hook)(void) = setup;
+int main(void) { return hook(); }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			prog := lower(t, src)
+			if _, ok := BuildDirect(prog, []string{"main"}, nil); ok {
+				t.Fatal("BuildDirect accepted a program that moves function values")
+			}
+			// The fallback still resolves it (sanity: the two paths
+			// partition the input space, they do not disagree on it).
+			g := BuildEntries(prog, []string{"main"}, nil)
+			if len(g.Reachable) == 0 {
+				t.Fatal("fallback graph empty")
+			}
+		})
+	}
+}

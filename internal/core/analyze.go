@@ -136,6 +136,25 @@ type Analysis struct {
 	// phases that ran before an error aborted the pipeline.
 	Metrics *pipeline.Metrics
 
+	// Front counts per-file front-end reuse for snapshot-backed runs
+	// (AnalyzeSourceSnapshot / AnalyzeIncremental); zero otherwise.
+	Front FrontEndStats
+
+	// Incremental-run state (snapshot.go). snapshotting marks a run
+	// that will produce a Snapshot; prev is the base snapshot of an
+	// incremental run; changed/digests are per-path parse results;
+	// declSigs/bodyDefs cache signature computations for the new
+	// snapshot; fragments collects the per-file IR (reused or fresh);
+	// incrementalCheck records that check reused prev's declarations.
+	snapshotting     bool
+	prev             *Snapshot
+	changed          map[string]bool
+	digests          map[string]string
+	declSigs         map[string]string
+	bodyDefs         map[string]bool
+	fragments        map[string]*ir.Fragment
+	incrementalCheck bool
+
 	// Regions indexed by region index; Regions[0] is the root.
 	Regions []Region
 	// regionOf maps pointer object IDs to region indices.

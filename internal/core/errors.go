@@ -29,6 +29,10 @@ const (
 	// service's worker pool and queue are full, or the request's
 	// deadline expired while it waited for a slot.
 	ErrOverload
+	// ErrSnapshotGone is a failed delta request: the base snapshot the
+	// request named has been evicted or was never computed. The request
+	// itself is well formed — retrying with full sources succeeds.
+	ErrSnapshotGone
 )
 
 // String names the kind.
@@ -42,6 +46,8 @@ func (k ErrorKind) String() string {
 		return "config"
 	case ErrOverload:
 		return "overload"
+	case ErrSnapshotGone:
+		return "snapshot_gone"
 	default:
 		return "internal"
 	}

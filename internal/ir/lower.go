@@ -12,71 +12,33 @@ import (
 const InitFuncName = "__global_init"
 
 // Lower converts checked files into an IR program. The checker's Info
-// must come from cminor.Check over exactly these files.
+// must come from cminor.Check over exactly these files. It is the
+// batch composition of the per-file half (LowerFile) and the linking
+// half (Link); incremental analysis calls the halves separately,
+// reusing cached fragments for unchanged files.
 func Lower(info *cminor.Info, files ...*cminor.File) *Program {
-	b := &builder{
-		prog: &Program{
-			Funcs:   make(map[string]*Func),
-			Externs: make(map[string]*cminor.FuncObject),
-			Globals: make(map[string]*Var),
-			Info:    info,
-		},
-		info: info,
-		vars: make(map[*cminor.VarObject]*Var),
+	frags := make([]*Fragment, len(files))
+	for i, f := range files {
+		frags[i] = LowerFile(info, f)
 	}
-	// Globals first so bodies can reference them.
-	for name, obj := range info.Globals {
-		v := b.newVar(name, nil)
-		v.Global = true
-		v.PointerLike = cminor.IsPointer(obj.Type)
-		b.prog.Globals[name] = v
-		b.vars[obj] = v
-	}
-	// Externs: declared or implicit functions without bodies.
-	for name, fo := range info.Funcs {
-		if fo.Decl == nil || fo.Decl.Body == nil {
-			b.prog.Externs[name] = fo
-		}
-	}
-	// Global initializers run in a synthetic function.
-	initFn := &Func{Name: InitFuncName}
-	b.fn = initFn
-	for _, f := range files {
-		for _, d := range f.Decls {
-			if vd, ok := d.(*cminor.VarDecl); ok && vd.Init != nil {
-				if g, ok := b.prog.Globals[vd.Name]; ok {
-					src := b.expr(vd.Init)
-					b.emit(&Instr{Op: Assign, Dst: varOpd(g), Src: src, Pos: vd.Pos})
-				}
-			}
-		}
-	}
-	if len(initFn.Instrs) > 0 {
-		b.prog.Funcs[InitFuncName] = initFn
-	}
-	b.fn = nil
-	// Function bodies.
-	for _, f := range files {
-		for _, d := range f.Decls {
-			if fd, ok := d.(*cminor.FuncDecl); ok && fd.Body != nil {
-				b.lowerFunc(fd)
-			}
-		}
-	}
-	return b.prog
+	return Link(info, frags)
 }
 
+// builder lowers one file into a fragment. Variables are appended to
+// *sink (InitVars while lowering global initializers, BodyVars inside
+// functions) without IDs; Link assigns program-wide identity.
 type builder struct {
-	prog *Program
+	frag *Fragment
 	info *cminor.Info
 	fn   *Func
+	sink *[]*Var
 	vars map[*cminor.VarObject]*Var
 	tmps int
 }
 
 func (b *builder) newVar(name string, fn *Func) *Var {
-	v := &Var{ID: len(b.prog.Vars), Name: name, Func: fn}
-	b.prog.Vars = append(b.prog.Vars, v)
+	v := &Var{Name: name, Func: fn}
+	*b.sink = append(*b.sink, v)
 	return v
 }
 
@@ -87,11 +49,25 @@ func (b *builder) temp() *Var {
 	return v
 }
 
+// globalProxy returns the fragment's name-keyed stand-in for a program
+// global. Proxies live only in frag.Globals (never in a var sink);
+// Link replaces them with canonical globals.
+func (b *builder) globalProxy(name string) *Var {
+	if v, ok := b.frag.Globals[name]; ok {
+		return v
+	}
+	v := &Var{Name: name, Global: true}
+	b.frag.Globals[name] = v
+	return v
+}
+
 func (b *builder) emit(in *Instr) *Instr {
-	in.ID = len(b.prog.Instrs)
 	in.Func = b.fn
-	b.prog.Instrs = append(b.prog.Instrs, in)
-	b.fn.Instrs = append(b.fn.Instrs, in)
+	if b.fn == nil {
+		b.frag.Init = append(b.frag.Init, in)
+	} else {
+		b.fn.Instrs = append(b.fn.Instrs, in)
+	}
 	return in
 }
 
@@ -104,7 +80,7 @@ func (b *builder) lowerFunc(fd *cminor.FuncDecl) {
 	if _, isVoid := b.info.Funcs[fd.Name].Type.Ret.(*cminor.VoidType); !isVoid {
 		fn.Ret = true
 	}
-	b.prog.Funcs[fd.Name] = fn
+	b.frag.Funcs = append(b.frag.Funcs, fn)
 	b.fn = fn
 	for _, p := range fi.Params {
 		v := b.newVar(p.Name, fn)
@@ -231,8 +207,8 @@ func (b *builder) expr(e cminor.Expr) Operand {
 	case *cminor.IntLit:
 		return constOpd(e.V)
 	case *cminor.StrLit:
-		idx := len(b.prog.Strings)
-		b.prog.Strings = append(b.prog.Strings, StringLit{Value: e.V, Pos: e.Pos})
+		idx := len(b.frag.Strings)
+		b.frag.Strings = append(b.frag.Strings, StringLit{Value: e.V, Pos: e.Pos})
 		t := b.temp()
 		b.emit(&Instr{Op: Assign, Dst: varOpd(t), Src: Operand{Kind: StringOpd, Str: idx}, Pos: e.Pos})
 		return varOpd(t)
@@ -276,13 +252,7 @@ func (b *builder) expr(e cminor.Expr) Operand {
 }
 
 func (b *builder) globalFallback(obj *cminor.VarObject) *Var {
-	if v, ok := b.prog.Globals[obj.Name]; ok {
-		b.vars[obj] = v
-		return v
-	}
-	v := b.newVar(obj.Name, nil)
-	v.Global = true
-	b.prog.Globals[obj.Name] = v
+	v := b.globalProxy(obj.Name)
 	b.vars[obj] = v
 	return v
 }

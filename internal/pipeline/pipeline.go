@@ -57,6 +57,9 @@ type PhaseMetrics struct {
 	// changed, when the state implements RelationSizer: every key
 	// whose value differs from the pre-phase snapshot.
 	Outputs map[string]int64
+	// Inputs names the relations the phase declared it consumes (see
+	// WithInputs); nil for phases that declare nothing.
+	Inputs []string
 }
 
 // Metrics is the cost breakdown of one Runner.Run.
@@ -108,6 +111,33 @@ func (o ObserverFuncs[S]) PhaseEnd(name string, st S, m PhaseMetrics) {
 // and relation counts this way without the Runner knowing about it).
 type RelationSizer interface {
 	RelationSizes() map[string]int64
+}
+
+// InputDeclarer is optionally implemented by a Phase to name the
+// relations it consumes. Declarations are descriptive today — the
+// Runner records them in PhaseMetrics.Inputs — but they are the seam a
+// delta-aware scheduler needs: a phase whose declared inputs are
+// unchanged since the previous run can be skipped or served from
+// cache. The incremental front end (internal/core) realizes exactly
+// that for parse/check/lower; the solver phases declare their inputs
+// now so the same machinery can reach them in a later change.
+type InputDeclarer interface {
+	Inputs() []string
+}
+
+// declaredPhase attaches an input declaration to a phase.
+type declaredPhase[S any] struct {
+	Phase[S]
+	inputs []string
+}
+
+func (p declaredPhase[S]) Inputs() []string { return p.inputs }
+
+// WithInputs wraps a phase with a declaration of the relations it
+// reads (keys of the state's RelationSizes, or upstream artifact names
+// like "sources").
+func WithInputs[S any](p Phase[S], inputs ...string) Phase[S] {
+	return declaredPhase[S]{Phase: p, inputs: inputs}
 }
 
 // Runner executes a registered phase list over a shared state.
@@ -178,6 +208,9 @@ func (r *Runner[S]) Run(ctx context.Context, st S) (*Metrics, error) {
 			Name:       ph.Name(),
 			Wall:       wall,
 			AllocBytes: int64(after.TotalAlloc - before.TotalAlloc),
+		}
+		if d, ok := ph.(InputDeclarer); ok {
+			pm.Inputs = d.Inputs()
 		}
 		if hasSizer {
 			cur := sizer.RelationSizes()

@@ -1,6 +1,10 @@
 package service
 
-import "container/list"
+import (
+	"container/list"
+
+	"repro/internal/core"
+)
 
 // lruCache is a plain LRU over completed analysis results, keyed by
 // the content-addressed request key. It is not self-locking: the
@@ -56,3 +60,55 @@ func (c *lruCache) add(key string, res *Result) {
 }
 
 func (c *lruCache) len() int { return c.ll.Len() }
+
+// snapStore is a bounded LRU of front-end snapshots keyed by the
+// response key of the run that built them — every response key a
+// client has seen is a usable delta base until evicted. Like lruCache
+// it is guarded by the Service's mutex, not self-locking.
+type snapStore struct {
+	max       int
+	ll        *list.List
+	items     map[string]*list.Element
+	evictions uint64
+}
+
+type snapEntry struct {
+	key  string
+	snap *core.Snapshot
+}
+
+func newSnapStore(max int) *snapStore {
+	return &snapStore{max: max, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *snapStore) get(key string) (*core.Snapshot, bool) {
+	if c.max <= 0 {
+		return nil, false
+	}
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*snapEntry).snap, true
+}
+
+func (c *snapStore) add(key string, snap *core.Snapshot) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*snapEntry).snap = snap
+		return
+	}
+	c.items[key] = c.ll.PushFront(&snapEntry{key: key, snap: snap})
+	for c.ll.Len() > c.max {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*snapEntry).key)
+		c.evictions++
+	}
+}
+
+func (c *snapStore) len() int { return c.ll.Len() }

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+
+	"context"
+)
+
+// deltaSources is a two-file program whose main.c body is
+// parameterized, so edits leave lib.c untouched.
+func deltaSources(body string) map[string]string {
+	return map[string]string{
+		"lib.c": `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+struct conn_t { int fd; struct conn_t *next; };
+struct conn_t *mkconn(region_t *r) {
+    struct conn_t *c;
+    c = ralloc(r);
+    return c;
+}
+void conn_link(struct conn_t *x, struct conn_t *y) {
+    x->next = y;
+}`,
+		"main.c": `
+typedef struct region_t region_t;
+extern region_t *rnew(region_t *parent);
+extern void *ralloc(region_t *r);
+struct conn_t;
+extern struct conn_t *mkconn(region_t *r);
+extern void conn_link(struct conn_t *x, struct conn_t *y);
+int main(void) {
+    region_t *r;
+    region_t *subr;
+    struct conn_t *a;
+    struct conn_t *b;
+    r = rnew(NULL);
+    subr = rnew(r);
+    a = mkconn(r);
+    b = mkconn(subr);
+` + body + `
+    return 0;
+}`,
+	}
+}
+
+// stripVolatile removes the wall-clock and per-phase stats from a
+// report, leaving everything an incremental run must reproduce
+// byte-for-byte (phase outputs legitimately differ: the delta run
+// reports reuse counters a cold run does not have).
+func stripVolatile(t *testing.T, report []byte) string {
+	t.Helper()
+	var m map[string]interface{}
+	if err := json.Unmarshal(report, &m); err != nil {
+		t.Fatalf("report not JSON: %v", err)
+	}
+	stats := m["stats"].(map[string]interface{})
+	delete(stats, "time_ms")
+	delete(stats, "phases")
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+func TestDeltaAnalyze(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	full, err := s.Analyze(ctx, core.Options{}, deltaSources("conn_link(a, b);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Delta != nil {
+		t.Fatal("full request carries a delta block")
+	}
+
+	edited := deltaSources("conn_link(b, a);")
+	inc, err := s.AnalyzeDelta(ctx, core.Options{}, full.Key,
+		map[string]string{"main.c": edited["main.c"]}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Delta == nil {
+		t.Fatal("delta request returned no delta block")
+	}
+	if d := inc.Delta; d.Base != full.Key || d.FilesReused != 1 || d.FilesChanged != 1 || d.FilesRemoved != 0 {
+		t.Fatalf("delta info = %+v, want base=%s reused=1 changed=1 removed=0", d, full.Key)
+	}
+	if inc.Analysis == nil || inc.Analysis.Front.ParseReused != 1 {
+		t.Fatalf("delta run did not reuse lib.c's parse: %+v", inc.Analysis.Front)
+	}
+
+	// The delta run must match a from-scratch analysis of the same
+	// final sources, computed on an independent service so the shared
+	// cache key cannot short-circuit the comparison.
+	s2 := New(Config{Workers: 1})
+	defer s2.Close()
+	scratch, err := s2.Analyze(ctx, core.Options{}, edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Key != scratch.Key {
+		t.Fatalf("delta key %s differs from the equivalent full request's %s", inc.Key, scratch.Key)
+	}
+	if got, want := stripVolatile(t, inc.ReportJSON), stripVolatile(t, scratch.ReportJSON); got != want {
+		t.Fatalf("delta report differs from from-scratch:\n%s\nvs\n%s", got, want)
+	}
+
+	// Chaining: the delta response's key is itself a usable base.
+	back, err := s.AnalyzeDelta(ctx, core.Options{}, inc.Key,
+		map[string]string{"main.c": deltaSources("conn_link(a, b);")["main.c"]}, nil)
+	if err != nil {
+		t.Fatalf("chained delta: %v", err)
+	}
+	if !back.Cached {
+		t.Fatal("chained delta back to the original sources missed the result cache")
+	}
+	if back.Delta == nil || back.Delta.Base != inc.Key {
+		t.Fatalf("cached delta response lost its delta block: %+v", back.Delta)
+	}
+
+	st := s.Stats()
+	if st.DeltaRequests != 2 || st.SnapshotHits != 2 || st.SnapshotGone != 0 {
+		t.Fatalf("stats = delta %d / hits %d / gone %d, want 2/2/0",
+			st.DeltaRequests, st.SnapshotHits, st.SnapshotGone)
+	}
+	if st.FrontendFilesReused == 0 {
+		t.Fatalf("frontend_files_reused = 0 after a delta run")
+	}
+	if st.SnapshotEntries == 0 {
+		t.Fatal("snapshot store empty after successful runs")
+	}
+}
+
+func TestDeltaUnknownBaseGone(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	_, err := s.AnalyzeDelta(context.Background(), core.Options{},
+		strings.Repeat("ab", 32), map[string]string{"x.c": "int main(void) { return 0; }"}, nil)
+	var aerr *core.Error
+	if !errors.As(err, &aerr) || aerr.Kind != core.ErrSnapshotGone {
+		t.Fatalf("err = %v, want snapshot_gone Error", err)
+	}
+	if st := s.Stats(); st.SnapshotGone != 1 {
+		t.Fatalf("snapshot_gone = %d, want 1", st.SnapshotGone)
+	}
+}
+
+func TestDeltaOptionMismatch(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	full, err := s.Analyze(ctx, core.Options{}, deltaSources("conn_link(a, b);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.AnalyzeDelta(ctx, core.Options{ContextCap: 1}, full.Key, nil, nil)
+	var aerr *core.Error
+	if !errors.As(err, &aerr) || aerr.Kind != core.ErrConfig {
+		t.Fatalf("err = %v, want config Error for option mismatch", err)
+	}
+}
+
+func TestDeltaDisabledSnapshots(t *testing.T) {
+	// SnapshotEntries < 0 disables the store: every delta is gone.
+	s := New(Config{Workers: 1, SnapshotEntries: -1})
+	defer s.Close()
+	ctx := context.Background()
+	full, err := s.Analyze(ctx, core.Options{}, deltaSources("conn_link(a, b);"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.AnalyzeDelta(ctx, core.Options{}, full.Key, nil, nil)
+	var aerr *core.Error
+	if !errors.As(err, &aerr) || aerr.Kind != core.ErrSnapshotGone {
+		t.Fatalf("err = %v, want snapshot_gone when the store is disabled", err)
+	}
+}
+
+func TestDeltaHTTP(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	body, err := json.Marshal(Request{Sources: deltaSources("conn_link(a, b);")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data := postAnalyze(t, srv, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("full status %d: %s", resp.StatusCode, data)
+	}
+	var fullResp AnalyzeResponse
+	if err := json.Unmarshal(data, &fullResp); err != nil {
+		t.Fatal(err)
+	}
+	if fullResp.Delta != nil {
+		t.Fatal("full response carries a delta block")
+	}
+
+	edited := deltaSources("conn_link(b, a);")
+	dbody, err := json.Marshal(Request{
+		Base:    fullResp.Key,
+		Changed: map[string]string{"main.c": edited["main.c"]},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postAnalyze(t, srv, string(dbody))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delta status %d: %s", resp.StatusCode, data)
+	}
+	var deltaResp AnalyzeResponse
+	if err := json.Unmarshal(data, &deltaResp); err != nil {
+		t.Fatal(err)
+	}
+	if deltaResp.Delta == nil {
+		t.Fatal("delta response has no delta block")
+	}
+	if d := deltaResp.Delta; d.Schema != DeltaSchemaV1 || d.Base != fullResp.Key || d.FilesReused != 1 || d.FilesChanged != 1 {
+		t.Fatalf("delta block = %+v", d)
+	}
+
+	// Unknown base -> 409 with kind snapshot_gone.
+	gone, err := json.Marshal(Request{Base: strings.Repeat("cd", 32),
+		Changed: map[string]string{"main.c": edited["main.c"]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, data = postAnalyze(t, srv, string(gone))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("gone base status %d, want 409: %s", resp.StatusCode, data)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Error.Kind != "snapshot_gone" {
+		t.Fatalf("error kind %q, want snapshot_gone", er.Error.Kind)
+	}
+
+	// Base plus full sources is ambiguous -> 400. Changed without a
+	// base is likewise rejected.
+	for _, bad := range []string{
+		fmt.Sprintf(`{"base": %q, "sources": {"x.c": "int main(void) { return 0; }"}}`, fullResp.Key),
+		`{"changed": {"x.c": "int main(void) { return 0; }"}}`,
+	} {
+		resp, data = postAnalyze(t, srv, bad)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("mixed-shape status %d, want 400: %s", resp.StatusCode, data)
+		}
+	}
+}

@@ -35,6 +35,20 @@ type AnalyzeResponse struct {
 	// "trace": true. The report bytes are identical with and without
 	// it.
 	Trace json.RawMessage `json:"trace,omitempty"`
+	// Delta describes how a delta request was resolved; absent on full
+	// requests.
+	Delta *DeltaResponse `json:"delta,omitempty"`
+}
+
+// DeltaResponse is the response's "delta" block (schema
+// "regionwiz/delta/v1"): how the base snapshot plus the request's
+// edits composed into the analyzed source set.
+type DeltaResponse struct {
+	Schema       string `json:"schema"`
+	Base         string `json:"base"`
+	FilesReused  int    `json:"files_reused"`
+	FilesChanged int    `json:"files_changed"`
+	FilesRemoved int    `json:"files_removed"`
 }
 
 // requestIDKey carries the per-request ID (set by the daemon's logging
@@ -118,7 +132,24 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 			root.Attrs(trace.Str("request_id", id))
 		}
 	}
-	res, err := s.Analyze(ctx, opts, req.Sources)
+	var res *Result
+	if req.Base != "" {
+		if len(req.Sources) > 0 {
+			root.End(trace.Bool("error", true))
+			writeError(w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+				"a delta request (base set) must not also carry full sources"))
+			return
+		}
+		res, err = s.AnalyzeDelta(ctx, opts, req.Base, req.Changed, req.Removed)
+	} else {
+		if len(req.Changed) > 0 || len(req.Removed) > 0 {
+			root.End(trace.Bool("error", true))
+			writeError(w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+				"changed/removed require a base snapshot key"))
+			return
+		}
+		res, err = s.Analyze(ctx, opts, req.Sources)
+	}
 	root.End(trace.Bool("error", err != nil))
 	if err != nil {
 		writeError(w, statusFor(err), err)
@@ -134,6 +165,15 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 		Coalesced: res.Coalesced,
 		Key:       res.Key,
 		Report:    json.RawMessage(res.ReportJSON),
+	}
+	if res.Delta != nil {
+		resp.Delta = &DeltaResponse{
+			Schema:       DeltaSchemaV1,
+			Base:         res.Delta.Base,
+			FilesReused:  res.Delta.FilesReused,
+			FilesChanged: res.Delta.FilesChanged,
+			FilesRemoved: res.Delta.FilesRemoved,
+		}
 	}
 	if tr != nil {
 		var buf bytes.Buffer
@@ -157,6 +197,8 @@ func statusFor(err error) int {
 		return http.StatusUnprocessableEntity
 	case core.ErrOverload:
 		return http.StatusTooManyRequests
+	case core.ErrSnapshotGone:
+		return http.StatusConflict
 	default:
 		return http.StatusInternalServerError
 	}
@@ -204,10 +246,17 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	counter("regionwizd_overloads_total", st.Overloads, "Requests rejected by admission control.")
 	counter("regionwizd_errors_total", st.Errors, "Failed requests, overloads included.")
 	counter("regionwizd_cache_evictions_total", st.CacheEvictions, "Cache entries evicted to make room.")
+	counter("regionwizd_delta_requests_total", st.DeltaRequests, "Requests that named a base snapshot.")
+	counter("regionwizd_snapshot_hits_total", st.SnapshotHits, "Delta requests whose base snapshot was held.")
+	counter("regionwizd_snapshot_gone_total", st.SnapshotGone, "Delta requests rejected because the base snapshot was gone.")
+	counter("regionwizd_snapshot_evictions_total", st.SnapshotEvictions, "Snapshots evicted to make room.")
+	counter("regionwizd_frontend_files_reused_total", st.FrontendFilesReused, "Source files whose front-end artifacts were reused.")
+	counter("regionwizd_frontend_files_rerun_total", st.FrontendFilesRerun, "Source files re-parsed by snapshot-backed runs.")
 	counter("regionwizd_queue_waits_total", st.QueueWaits, "Requests that waited in the admission queue.")
 	gauge("regionwizd_inflight", st.Inflight, "Pipeline runs executing now.")
 	gauge("regionwizd_queued", st.Queued, "Requests waiting for a worker slot.")
 	gauge("regionwizd_cache_entries", int64(st.CacheEntries), "Result cache population.")
+	gauge("regionwizd_snapshot_entries", int64(st.SnapshotEntries), "Snapshot store population.")
 	fmt.Fprintf(&sb, "# HELP regionwizd_queue_wait_seconds_total Cumulative admission queue wait.\n# TYPE regionwizd_queue_wait_seconds_total counter\nregionwizd_queue_wait_seconds_total %g\n",
 		st.QueueWait.Seconds())
 	names := make([]string, 0, len(st.Phases))

@@ -28,7 +28,6 @@ import (
 	"fmt"
 	"io"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -49,6 +48,13 @@ type Config struct {
 	// CacheEntries bounds the LRU result cache (default 128; negative
 	// disables caching — requests still coalesce while in flight).
 	CacheEntries int
+	// SnapshotEntries bounds the LRU snapshot store backing delta
+	// requests (default 16; negative disables snapshots — every delta
+	// request then fails with a snapshot-gone error and full requests
+	// skip snapshot building). Snapshots hold parsed files and IR for
+	// the whole source set, so they are much heavier than cached
+	// results; size accordingly.
+	SnapshotEntries int
 	// RequestTimeout, when positive, caps each request end to end:
 	// queue wait plus pipeline run (default none). The caller's
 	// context deadline applies in addition.
@@ -79,6 +85,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries < 0 {
 		c.CacheEntries = 0
 	}
+	if c.SnapshotEntries == 0 {
+		c.SnapshotEntries = 16
+	}
+	if c.SnapshotEntries < 0 {
+		c.SnapshotEntries = 0
+	}
 	return c
 }
 
@@ -98,6 +110,36 @@ type Result struct {
 	// pipeline.
 	Cached    bool
 	Coalesced bool
+	// Delta describes how a delta request decomposed, nil for full
+	// requests. It reflects the request's shape, not how the result was
+	// computed: a delta request answered from the cache still reports
+	// its file split.
+	Delta *DeltaInfo
+
+	// snap is the front-end snapshot the run produced, deposited into
+	// the snapshot store under Key; nil for cache hits and when
+	// snapshots are disabled.
+	snap *core.Snapshot
+}
+
+// DeltaInfo summarizes a delta request against its base snapshot.
+type DeltaInfo struct {
+	// Base is the snapshot key the request named.
+	Base string
+	// FilesReused counts files taken unchanged from the base;
+	// FilesChanged counts edited or added files; FilesRemoved counts
+	// deletions.
+	FilesReused  int
+	FilesChanged int
+	FilesRemoved int
+}
+
+// deltaReq is the delta half of a request on its way through the
+// service.
+type deltaReq struct {
+	base    string
+	changed map[string]string
+	removed []string
 }
 
 // call is one in-flight pipeline run shared by identical requests.
@@ -116,6 +158,7 @@ type Service struct {
 
 	mu     sync.Mutex
 	cache  *lruCache
+	snaps  *snapStore
 	calls  map[string]*call
 	closed bool
 
@@ -131,6 +174,7 @@ func New(cfg Config) *Service {
 		stats:   newCollector(),
 		sem:     make(chan struct{}, cfg.Workers),
 		cache:   newLRUCache(cfg.CacheEntries),
+		snaps:   newSnapStore(cfg.SnapshotEntries),
 		calls:   make(map[string]*call),
 		closeCh: make(chan struct{}),
 	}
@@ -138,20 +182,14 @@ func New(cfg Config) *Service {
 
 // Key returns the content-addressed cache key of a request: the
 // normalized options fingerprint combined with a per-file digest of
-// every source. Any change to an option that can alter results, to a
-// path, or to a file's content changes the key.
+// every source (see Digest). Any change to an option that can alter
+// results, to a path, or to a file's content changes the key. The key
+// of a completed request is also its snapshot handle: a later delta
+// request names it as "base".
 func Key(opts core.Options, sources map[string]string) string {
 	h := sha256.New()
 	io.WriteString(h, opts.Fingerprint())
-	paths := make([]string, 0, len(sources))
-	for p := range sources {
-		paths = append(paths, p)
-	}
-	sort.Strings(paths)
-	for _, p := range paths {
-		digest := sha256.Sum256([]byte(sources[p]))
-		fmt.Fprintf(h, "\x00%s\x00%x", p, digest)
-	}
+	writeSources(h, sources)
 	return hex.EncodeToString(h.Sum(nil))
 }
 
@@ -162,10 +200,31 @@ func Key(opts core.Options, sources map[string]string) string {
 // queue are saturated. Errors are shared with coalesced waiters but
 // never cached, so a failed request does not poison its key.
 func (s *Service) Analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
+	return s.serve(ctx, opts, sources, nil)
+}
+
+// AnalyzeDelta serves a delta request: the source set of a previous
+// response (named by its key, the snapshot base) with changed paths
+// overwritten or added and removed paths deleted. The run reuses the
+// base snapshot's per-file front end; if the base has been evicted —
+// or was never computed — the request fails with an
+// ErrSnapshotGone-kind error (HTTP 409) and the client retries with
+// full sources. The result is keyed and cached exactly as the
+// equivalent full request would be: the report bytes are identical and
+// the response key is a valid base for the next delta.
+func (s *Service) AnalyzeDelta(ctx context.Context, opts core.Options, base string, changed map[string]string, removed []string) (*Result, error) {
+	return s.serve(ctx, opts, nil, &deltaReq{base: base, changed: changed, removed: removed})
+}
+
+// serve is the shared outer shell: request accounting around analyze.
+func (s *Service) serve(ctx context.Context, opts core.Options, sources map[string]string, delta *deltaReq) (*Result, error) {
 	s.stats.requests.Add(1)
+	if delta != nil {
+		s.stats.deltaRequests.Add(1)
+	}
 	t0 := time.Now()
 	ctx, sp := trace.StartSpan(ctx, "service.request")
-	res, err := s.analyze(ctx, opts, sources)
+	res, err := s.analyze(ctx, opts, sources, delta)
 	s.stats.analyzeHist.observe(time.Since(t0))
 	if err != nil {
 		s.stats.errs.Add(1)
@@ -185,13 +244,46 @@ func (s *Service) Analyze(ctx context.Context, opts core.Options, sources map[st
 	return res, nil
 }
 
-func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string) (*Result, error) {
+func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string, delta *deltaReq) (*Result, error) {
 	opts = opts.Normalize()
 	if opts.BDD == (bdd.Config{}) {
 		opts.BDD = s.cfg.BDD
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
+	}
+
+	// A delta request materializes its source set from the base
+	// snapshot, then flows through keying, caching, and coalescing
+	// exactly like the full request it abbreviates.
+	var base *core.Snapshot
+	var dinfo *DeltaInfo
+	if delta != nil {
+		s.mu.Lock()
+		snap, ok := s.snaps.get(delta.base)
+		s.mu.Unlock()
+		if !ok {
+			s.stats.snapshotGone.Add(1)
+			return nil, core.Errf(core.ErrSnapshotGone, "",
+				"base snapshot %.12s… is gone (evicted or never computed); retry with full sources", delta.base)
+		}
+		if snap.Options().Fingerprint() != opts.Fingerprint() {
+			return nil, core.Errf(core.ErrConfig, "",
+				"delta request options do not match the base snapshot's")
+		}
+		s.stats.snapshotHits.Add(1)
+		base = snap
+		sources = snap.Apply(delta.changed, delta.removed)
+		dinfo = &DeltaInfo{
+			Base:         delta.base,
+			FilesChanged: len(delta.changed),
+			FilesRemoved: len(delta.removed),
+		}
+		for p := range sources {
+			if _, changed := delta.changed[p]; !changed {
+				dinfo.FilesReused++
+			}
+		}
 	}
 	if len(sources) == 0 {
 		return nil, core.Errf(core.ErrConfig, "", "analysis request has no sources")
@@ -216,6 +308,7 @@ func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[st
 		}
 		hit := *res
 		hit.Cached = true
+		hit.Delta = dinfo
 		return &hit, nil
 	}
 	if c, ok := s.calls[key]; ok {
@@ -223,6 +316,9 @@ func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[st
 		cctx, wsp := trace.StartSpan(ctx, "service.coalesce_wait")
 		res, err := s.await(cctx, c)
 		wsp.End()
+		if err == nil {
+			res.Delta = dinfo
+		}
 		return res, err
 	}
 	c := &call{done: make(chan struct{})}
@@ -230,12 +326,18 @@ func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[st
 	s.wg.Add(1)
 	s.mu.Unlock()
 
-	res, err := s.run(ctx, key, opts, sources)
+	res, err := s.run(ctx, key, opts, sources, base, delta)
+	if err == nil {
+		res.Delta = dinfo
+	}
 
 	s.mu.Lock()
 	delete(s.calls, key)
 	if err == nil {
 		s.cache.add(key, res)
+		if res.snap != nil {
+			s.snaps.add(key, res.snap)
+		}
 	}
 	s.mu.Unlock()
 	c.res, c.err = res, err
@@ -260,8 +362,10 @@ func (s *Service) await(ctx context.Context, c *call) (*Result, error) {
 	}
 }
 
-// run is the leader path: admission control, then the pipeline.
-func (s *Service) run(ctx context.Context, key string, opts core.Options, sources map[string]string) (*Result, error) {
+// run is the leader path: admission control, then the pipeline. base
+// and delta are non-nil for delta requests; the snapshot the run
+// produces rides back on Result.snap.
+func (s *Service) run(ctx context.Context, key string, opts core.Options, sources map[string]string, base *core.Snapshot, delta *deltaReq) (*Result, error) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -306,11 +410,23 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 	// fire — the run is shared).
 	opts.Observer = s.stats.phaseObserver(s.cfg.Observer, opts.Observer)
 	actx, asp := trace.StartSpan(ctx, "service.analysis")
-	a, err := core.AnalyzeSourceContext(actx, opts, sources)
+	var a *core.Analysis
+	var snap *core.Snapshot
+	var err error
+	switch {
+	case base != nil:
+		a, snap, err = core.AnalyzeIncremental(actx, opts, base, delta.changed, delta.removed)
+	case s.cfg.SnapshotEntries > 0:
+		a, snap, err = core.AnalyzeSourceSnapshot(actx, opts, sources)
+	default:
+		a, err = core.AnalyzeSourceContext(actx, opts, sources)
+	}
 	asp.End(trace.Bool("error", err != nil))
 	if err != nil {
 		return nil, err
 	}
+	s.stats.frontendReused.Add(uint64(a.Front.ParseReused))
+	s.stats.frontendRerun.Add(uint64(a.Front.ParseParsed))
 	_, esp := trace.StartSpan(ctx, "service.encode")
 	data, err := json.Marshal(a.Report)
 	if esp != nil {
@@ -319,7 +435,7 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 	if err != nil {
 		return nil, core.WrapError(core.ErrInternal, err)
 	}
-	return &Result{Analysis: a, ReportJSON: data, Key: key}, nil
+	return &Result{Analysis: a, ReportJSON: data, Key: key, snap: snap}, nil
 }
 
 // Stats snapshots the service counters.
@@ -328,6 +444,8 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st.CacheEntries = s.cache.len()
 	st.CacheEvictions = s.cache.evictions
+	st.SnapshotEntries = s.snaps.len()
+	st.SnapshotEvictions = s.snaps.evictions
 	s.mu.Unlock()
 	return st
 }

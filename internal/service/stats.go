@@ -93,6 +93,20 @@ type Stats struct {
 	// counts entries dropped to make room.
 	CacheEntries   int    `json:"cache_entries"`
 	CacheEvictions uint64 `json:"cache_evictions"`
+	// DeltaRequests counts requests that named a base snapshot;
+	// SnapshotHits found it, SnapshotGone did not (the 409 path).
+	DeltaRequests uint64 `json:"delta_requests"`
+	SnapshotHits  uint64 `json:"snapshot_hits"`
+	SnapshotGone  uint64 `json:"snapshot_gone"`
+	// SnapshotEntries is the snapshot store's population;
+	// SnapshotEvictions counts snapshots dropped to make room.
+	SnapshotEntries   int    `json:"snapshot_entries"`
+	SnapshotEvictions uint64 `json:"snapshot_evictions"`
+	// FrontendFilesReused and FrontendFilesRerun count, across every
+	// snapshot-backed pipeline run, source files whose front-end
+	// artifacts were reused versus re-parsed.
+	FrontendFilesReused uint64 `json:"frontend_files_reused"`
+	FrontendFilesRerun  uint64 `json:"frontend_files_rerun"`
 	// QueueWaits counts requests that had to queue; QueueWait is their
 	// cumulative wait, MaxQueueWait the single longest.
 	QueueWaits   uint64        `json:"queue_waits"`
@@ -110,6 +124,8 @@ type Stats struct {
 // collector is the service's live counter set.
 type collector struct {
 	requests, hits, coalesced, misses, overloads, errs atomic.Uint64
+	deltaRequests, snapshotHits, snapshotGone          atomic.Uint64
+	frontendReused, frontendRerun                      atomic.Uint64
 	inflight, queued                                   atomic.Int64
 	queueWaits                                         atomic.Uint64
 	queueWaitNS, maxQueueWaitNS                        atomic.Int64
@@ -193,6 +209,12 @@ func (c *collector) snapshot() Stats {
 		QueueWaits:   c.queueWaits.Load(),
 		QueueWait:    time.Duration(c.queueWaitNS.Load()),
 		MaxQueueWait: time.Duration(c.maxQueueWaitNS.Load()),
+
+		DeltaRequests:       c.deltaRequests.Load(),
+		SnapshotHits:        c.snapshotHits.Load(),
+		SnapshotGone:        c.snapshotGone.Load(),
+		FrontendFilesReused: c.frontendReused.Load(),
+		FrontendFilesRerun:  c.frontendRerun.Load(),
 	}
 	s.Histograms = make(map[string]HistogramSnapshot)
 	if hs := c.analyzeHist.snapshot(); hs.Count > 0 {

@@ -5,10 +5,28 @@ import (
 	"repro/internal/core"
 )
 
-// Request is the POST /v1/analyze body.
+// DeltaSchemaV1 identifies the delta request/response encoding
+// (Request.Base/Changed/Removed and the response's "delta" block).
+const DeltaSchemaV1 = "regionwiz/delta/v1"
+
+// Request is the POST /v1/analyze body. It comes in two shapes: a
+// full request carries Sources; a delta request (schema
+// "regionwiz/delta/v1") instead names a Base — the key of any prior
+// response — plus the files Changed (path -> new content, including
+// added files) and Removed since that run. The two shapes are
+// mutually exclusive.
 type Request struct {
 	// Sources maps path -> CMinor/C-subset content.
-	Sources map[string]string `json:"sources"`
+	Sources map[string]string `json:"sources,omitempty"`
+	// Base is the response key of a prior run whose snapshot this
+	// delta applies to. If the daemon no longer holds that snapshot the
+	// request fails with kind "snapshot_gone" (HTTP 409); resend the
+	// full sources.
+	Base string `json:"base,omitempty"`
+	// Changed maps path -> full new content for edited or added files.
+	Changed map[string]string `json:"changed,omitempty"`
+	// Removed lists paths deleted since the base run.
+	Removed []string `json:"removed,omitempty"`
 	// Options selects the analysis configuration; the zero value is
 	// the default analysis (entry "main", both region APIs).
 	Options RequestOptions `json:"options"`

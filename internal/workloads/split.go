@@ -1,0 +1,192 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SplitSource divides one CMinor translation unit into n files that
+// check to the same program. The front end is per-file — the parser
+// needs typedefs in scope and the checker resolves declarations
+// globally — so the split replicates the "header" (typedefs, extern
+// declarations, opaque struct forwards) into every chunk, keeps each
+// struct definition in exactly one chunk (a redefinition is an error)
+// with a forward declaration in the shared header, and distributes the
+// remaining top-level segments contiguously by size. This is what
+// turns a generated single-file workload into a multi-file corpus for
+// the incremental benchmark: editing one chunk leaves the others
+// byte-identical.
+func SplitSource(src string, n int) []string {
+	if n <= 1 {
+		return []string{src}
+	}
+	var header strings.Builder
+	var body []string
+	for _, seg := range splitSegments(src) {
+		switch classifySegment(seg) {
+		case segHeader:
+			header.WriteString(strings.TrimSpace(seg))
+			header.WriteString("\n")
+		case segStructDef:
+			if tag := structTag(seg); tag != "" {
+				fmt.Fprintf(&header, "struct %s;\n", tag)
+			}
+			body = append(body, seg)
+		default:
+			body = append(body, seg)
+		}
+	}
+	if n > len(body) {
+		n = len(body)
+	}
+	if n < 1 {
+		n = 1
+	}
+	total := 0
+	for _, seg := range body {
+		total += len(seg)
+	}
+	budget := total/n + 1
+
+	chunks := make([]string, 0, n)
+	var cur strings.Builder
+	cur.WriteString(header.String())
+	size := 0
+	for i, seg := range body {
+		cur.WriteString(strings.TrimSpace(seg))
+		cur.WriteString("\n\n")
+		size += len(seg)
+		remSegs := len(body) - i - 1
+		remChunks := n - len(chunks) - 1
+		if remChunks > 0 && (size >= budget || remSegs == remChunks) {
+			chunks = append(chunks, cur.String())
+			cur.Reset()
+			cur.WriteString(header.String())
+			size = 0
+		}
+	}
+	chunks = append(chunks, cur.String())
+	return chunks
+}
+
+// SplitSourcesFor is SourcesFor with the executable's file divided
+// into n chunks (zero-padded names so path order is chunk order); the
+// shared library, when present, stays its own file.
+func (p *Package) SplitSourcesFor(exe Exe, n int) map[string]string {
+	m := make(map[string]string, n+1)
+	for i, chunk := range SplitSource(exe.Source, n) {
+		m[fmt.Sprintf("%s-%02d.c", exe.Name, i)] = chunk
+	}
+	if p.Lib != "" {
+		m[p.Spec.Name+"-lib.c"] = p.Lib
+	}
+	return m
+}
+
+type segKind int
+
+const (
+	segBody segKind = iota
+	// segHeader segments are safe (and necessary) to replicate into
+	// every chunk: typedefs, extern declarations, opaque forwards.
+	segHeader
+	// segStructDef segments may appear only once program-wide.
+	segStructDef
+)
+
+// classifySegment decides how one top-level segment splits. A segment
+// starting with "struct" is a forward declaration (no brace), a type
+// definition (brace before any paren), or a function returning a
+// struct pointer (paren first).
+func classifySegment(seg string) segKind {
+	s := strings.TrimSpace(seg)
+	switch {
+	case strings.HasPrefix(s, "typedef"), strings.HasPrefix(s, "extern"):
+		return segHeader
+	case strings.HasPrefix(s, "struct"):
+		brace := strings.IndexByte(s, '{')
+		if brace < 0 {
+			return segHeader
+		}
+		if paren := strings.IndexByte(s, '('); paren >= 0 && paren < brace {
+			return segBody
+		}
+		return segStructDef
+	default:
+		return segBody
+	}
+}
+
+// structTag extracts the tag from a struct definition segment.
+func structTag(seg string) string {
+	fields := strings.Fields(strings.TrimSpace(seg))
+	if len(fields) < 2 || fields[0] != "struct" {
+		return ""
+	}
+	return strings.TrimSuffix(fields[1], "{")
+}
+
+// splitSegments scans source text into top-level segments: runs ending
+// at a depth-0 ";" or at a "}" closing back to depth 0 (plus its
+// trailing ";" for type definitions). Comments and string/char
+// literals are skipped so braces inside them do not confuse the depth
+// count.
+func splitSegments(src string) []string {
+	var segs []string
+	depth := 0
+	start := 0
+	i, n := 0, len(src)
+	flush := func(end int) {
+		if strings.TrimSpace(src[start:end]) != "" {
+			segs = append(segs, src[start:end])
+		}
+		start = end
+	}
+	for i < n {
+		switch c := src[i]; {
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			i += 2
+			for i+1 < n && !(src[i] == '*' && src[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case c == '"' || c == '\'':
+			q := c
+			i++
+			for i < n && src[i] != q {
+				if src[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			i++
+		case c == '{':
+			depth++
+			i++
+		case c == '}':
+			depth--
+			i++
+			if depth == 0 {
+				j := i
+				for j < n && (src[j] == ' ' || src[j] == '\t' || src[j] == '\n') {
+					j++
+				}
+				if j < n && src[j] == ';' {
+					i = j + 1
+				}
+				flush(i)
+			}
+		case c == ';' && depth == 0:
+			i++
+			flush(i)
+		default:
+			i++
+		}
+	}
+	flush(n)
+	return segs
+}

@@ -1,0 +1,146 @@
+package workloads
+
+import (
+	"encoding/json"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// siteRE matches file:line:col source positions; splitting moves
+// every declaration to a new file and line, so positions are the one
+// part of a report splitting is allowed to change.
+var siteRE = regexp.MustCompile(`[\w.-]+\.c:\d+:\d+`)
+
+// stableSplitReport renders a report without the volatile stats
+// (times, per-phase metrics) and with source positions normalized, so
+// the split and unsplit analyses can be compared byte-for-byte.
+func stableSplitReport(t *testing.T, r *core.Report) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	if stats, ok := m["stats"].(map[string]interface{}); ok {
+		delete(stats, "time_ms")
+		delete(stats, "phases")
+	}
+	// Warning order follows instruction numbering, which follows file
+	// order; splitting changes both, so compare warnings as a set.
+	if ws, ok := m["warnings"].([]interface{}); ok {
+		norm := make([]string, len(ws))
+		for i, w := range ws {
+			b, err := json.Marshal(w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			norm[i] = siteRE.ReplaceAllString(string(b), "SITE")
+		}
+		sort.Strings(norm)
+		m["warnings"] = norm
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return siteRE.ReplaceAllString(string(out), "SITE")
+}
+
+// TestSplitSourcePreservesReport is the core contract: a generated
+// executable analyzed as n split files produces the same report —
+// same warnings, same headline stats, modulo source positions — as
+// the original single file, for both SharedLib and monolithic specs.
+func TestSplitSourcePreservesReport(t *testing.T) {
+	for _, spec := range SmallCorpus() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			pkg := Generate(spec, 2008)
+			exe := pkg.Exes[0]
+			whole, err := core.AnalyzeSource(core.Options{}, pkg.SourcesFor(exe))
+			if err != nil {
+				t.Fatalf("unsplit analysis: %v", err)
+			}
+			for _, n := range []int{2, 4, 8} {
+				split := pkg.SplitSourcesFor(exe, n)
+				got, err := core.AnalyzeSource(core.Options{}, split)
+				if err != nil {
+					t.Fatalf("split(%d) analysis: %v", n, err)
+				}
+				if want, have := stableSplitReport(t, whole.Report), stableSplitReport(t, got.Report); want != have {
+					t.Fatalf("split(%d) report differs from unsplit", n)
+				}
+			}
+		})
+	}
+}
+
+func TestSplitSourceChunkCount(t *testing.T) {
+	pkg := Generate(SmallCorpus()[0], 2008)
+	exe := pkg.Exes[0]
+	if got := SplitSource(exe.Source, 1); len(got) != 1 {
+		t.Fatalf("n=1 produced %d chunks", len(got))
+	}
+	chunks := SplitSource(exe.Source, 4)
+	if len(chunks) != 4 {
+		t.Fatalf("n=4 produced %d chunks", len(chunks))
+	}
+	// SplitSourcesFor names the chunks in order and keeps the library.
+	m := pkg.SplitSourcesFor(exe, 4)
+	wantFiles := 4
+	if pkg.Lib != "" {
+		wantFiles++
+	}
+	if len(m) != wantFiles {
+		t.Fatalf("SplitSourcesFor produced %d files, want %d", len(m), wantFiles)
+	}
+	if _, ok := m[exe.Name+"-00.c"]; !ok {
+		t.Fatalf("first chunk missing from %v", keysOf(m))
+	}
+}
+
+// TestSplitSourceStructDefsUnique: the checker rejects a non-opaque
+// struct defined twice program-wide, so a definition must land in
+// exactly one chunk while every chunk gets a forward declaration.
+func TestSplitSourceStructDefsUnique(t *testing.T) {
+	src := `
+typedef struct region_t region_t;
+extern void *ralloc(region_t *r);
+struct point_t { int x; int y; };
+struct point_t *mk(region_t *r) {
+    struct point_t *p;
+    p = ralloc(r);
+    return p;
+}
+int use(struct point_t *p) { return p->x; }
+int main(void) { return 0; }
+`
+	chunks := SplitSource(src, 3)
+	defs := 0
+	for _, c := range chunks {
+		defs += strings.Count(c, "struct point_t {")
+		if !strings.Contains(c, "struct point_t;") {
+			t.Fatalf("chunk lacks the forward declaration:\n%s", c)
+		}
+		if !strings.Contains(c, "typedef struct region_t region_t;") {
+			t.Fatalf("chunk lacks the replicated typedef:\n%s", c)
+		}
+	}
+	if defs != 1 {
+		t.Fatalf("struct point_t defined %d times across chunks, want exactly 1", defs)
+	}
+}
+
+func keysOf(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

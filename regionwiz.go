@@ -130,6 +130,10 @@ const (
 	// ErrOverload is an admission-control rejection from an Analyzer
 	// or regionwizd under load.
 	ErrOverload = core.ErrOverload
+	// ErrSnapshotGone means a delta request named a base snapshot the
+	// service no longer holds (evicted or never computed); retrying
+	// with full sources succeeds.
+	ErrSnapshotGone = core.ErrSnapshotGone
 )
 
 // ReportSchemaV1 identifies the report JSON encoding emitted by
