@@ -8,7 +8,9 @@
 //	regionbench -table 7|8|11|all [-seed N] [-scale small|paper]
 //	regionbench -json out.json [-jobs N]
 //	regionbench -edit-loop N [-json out.json]
-//	regionbench ... [-backend explicit|bdd] [-bdd-node-size N] [-bdd-cache-ratio N]
+//	regionbench -parallel-bench [-json out.json]
+//	regionbench ... [-backend explicit|bdd] [-solver-workers N]
+//	regionbench ... [-bdd-node-size N] [-bdd-cache-ratio N]
 //
 // The -json mode analyzes every executable of the corpus through a
 // bounded worker pool and writes per-phase, per-workload timings as a
@@ -17,6 +19,14 @@
 // phase runs on the BDD engine and its Outputs include the kernel
 // counters (bdd_cache_hits, bdd_cache_misses, bdd_unique_collisions,
 // bdd_table_grows), making the -json document a kernel-tuning probe.
+//
+// -solver-workers N shards each analysis internally (parallel front
+// end plus SCC-scheduled pointer solve); with -json the per-workload
+// entries then carry a "solver" block describing the SCC schedule.
+// The -parallel-bench mode measures that scaling head-on: the largest
+// workload at workers 1/2/4 on both backends, with a report-parity
+// check, written as schema regionbench/parallel/v1 (see
+// BENCH_parallel.json).
 package main
 
 import (
@@ -49,6 +59,8 @@ func main() {
 	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	solverWorkers := flag.Int("solver-workers", 0, "per-analysis solve parallelism: workers for the sharded front end and SCC-scheduled pointer solve (0 or 1 = sequential; reports are identical for every worker count)")
+	parallelBench := flag.Bool("parallel-bench", false, "measure single-workload scaling across solver worker counts on both backends (with -json, writes schema regionbench/parallel/v1)")
 	editLoop := flag.Int("edit-loop", 0, "steady-state incremental mode: split the largest workload into files, then re-analyze N single-file edits against the previous snapshot (with -json, writes schema regionbench/incremental/v1)")
 	oracleMode := flag.Bool("oracle", false, "run the differential soundness/parity oracle sweep instead of benchmarks")
 	oracleSeeds := flag.Int("seeds", 100, "number of oracle sweep seeds (with -oracle)")
@@ -58,14 +70,15 @@ func main() {
 
 	switch *backend {
 	case "explicit":
-		benchOpts.Backend = core.ExplicitBackend
+		benchOpts.Solver.Backend = core.ExplicitBackend
 	case "bdd":
-		benchOpts.Backend = core.BDDBackend
+		benchOpts.Solver.Backend = core.BDDBackend
 	default:
 		fmt.Fprintf(os.Stderr, "regionbench: unknown -backend %q (want explicit or bdd)\n", *backend)
 		os.Exit(2)
 	}
-	benchOpts.BDD = bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio}
+	benchOpts.Solver.BDD = bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio}
+	benchOpts.Solver.Workers = *solverWorkers
 
 	if *oracleMode {
 		if err := runOracle(*oracleSeeds, *oracleStart, *jobs, *reproDir, *jsonPath); err != nil {
@@ -89,6 +102,14 @@ func main() {
 	pkgs := make([]*workloads.Package, len(specs))
 	for i, spec := range specs {
 		pkgs[i] = workloads.Generate(spec, *seed)
+	}
+
+	if *parallelBench {
+		if err := runParallelBench(*jsonPath, *seed, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *editLoop > 0 {
@@ -144,6 +165,9 @@ type workloadTimes struct {
 	Error   string       `json:"error,omitempty"`
 	Phases  []phaseTimes `json:"phases,omitempty"`
 	Stats   *headline    `json:"stats,omitempty"`
+	// Solver is the pointer solver's SCC schedule, present only when
+	// the run used -solver-workers > 1.
+	Solver *solverSched `json:"solver,omitempty"`
 }
 
 type phaseTimes struct {
@@ -214,6 +238,9 @@ func writeJSON(path string, pkgs []*workloads.Package, seed int64, scale string,
 					AllocBytes: p.AllocBytes,
 					Outputs:    p.Outputs,
 				})
+			}
+			if res.Out.Ptr != nil && res.Out.Ptr.Sched != nil {
+				wt.Solver = newSolverSched(res.Out)
 			}
 		}
 		doc.Workloads = append(doc.Workloads, wt)

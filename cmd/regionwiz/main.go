@@ -24,6 +24,10 @@
 //	-kcfa K            k-CFA call-string contexts instead of call paths
 //	-refine            enable the def-use (Figure 5(b)) refinement
 //	-jobs N            analyze N file sets concurrently (default GOMAXPROCS)
+//	-solver-workers N  shard each analysis across N workers (0 or 1 =
+//	                   sequential; reports are identical either way)
+//	-bdd-node-size N   initial BDD node-table capacity for -backend bdd
+//	-bdd-cache-ratio N BDD node-table slots per op-cache slot
 //	-timeout D         abort the whole run after D (e.g. 30s, 5m)
 //	-watch             poll the arguments and re-analyze on change,
 //	                   printing only the warning diff; unchanged files
@@ -72,6 +76,9 @@ func run() int {
 	kcfa := flag.Int("kcfa", 0, "use k-CFA call-string contexts of this depth instead of call-path cloning")
 	refine := flag.Bool("refine", false, "enable the def-use (Figure 5(b)) refinement")
 	jobs := flag.Int("jobs", 0, "number of file sets analyzed concurrently (0 = GOMAXPROCS)")
+	solverWorkers := flag.Int("solver-workers", 0, "shard each analysis across this many workers (0 or 1 = sequential; reports are identical)")
+	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for -backend bdd (0 = kernel default)")
+	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	phaseStats := flag.Bool("phase-stats", false, "print the per-phase pipeline cost table")
 	watch := flag.Bool("watch", false, "re-analyze on file change, printing only the warning diff")
@@ -94,6 +101,9 @@ func run() int {
 		KCFA:             *kcfa,
 		DefUseRefinement: *refine,
 	}
+	opts.Solver.Workers = *solverWorkers
+	opts.Solver.BDD.NodeSize = *bddNodeSize
+	opts.Solver.BDD.CacheRatio = *bddCacheRatio
 	if *entries != "" {
 		opts.Entries = strings.Split(*entries, ",")
 	}
@@ -110,9 +120,9 @@ func run() int {
 	}
 	switch *backend {
 	case "explicit":
-		opts.Backend = regionwiz.ExplicitBackend
+		opts.Solver.Backend = regionwiz.ExplicitBackend
 	case "bdd":
-		opts.Backend = regionwiz.BDDBackend
+		opts.Solver.Backend = regionwiz.BDDBackend
 	default:
 		fmt.Fprintf(os.Stderr, "regionwiz: unknown -backend %q\n", *backend)
 		return 2

@@ -53,6 +53,10 @@
 //	                      runs (0 = kernel default, 8192)
 //	-bdd-cache-ratio N    BDD node-table slots per op-cache slot
 //	                      (0 = kernel default, 1)
+//	-solver-workers N     default per-request solve parallelism for
+//	                      requests that do not set solver_workers
+//	                      (0 or 1 = sequential; reports are identical
+//	                      for every worker count)
 //	-pprof-addr host:port serve net/http/pprof on a SEPARATE listener
 //	                      (off by default; keep it on localhost — the
 //	                      profiling endpoints are not authenticated)
@@ -90,6 +94,7 @@ func run() int {
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for bdd-backend runs (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	solverWorkers := flag.Int("solver-workers", 0, "default per-request solve parallelism for requests that do not set solver_workers (0 or 1 = sequential)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
 	flag.Parse()
@@ -109,6 +114,7 @@ func run() int {
 		SnapshotEntries: *snapshotEntries,
 		RequestTimeout:  *requestTimeout,
 		BDD:             bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio},
+		SolverWorkers:   *solverWorkers,
 	})
 	server := &http.Server{
 		Addr:              *addr,

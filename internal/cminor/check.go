@@ -82,7 +82,14 @@ type checker struct {
 // Check resolves and type-checks the given files as one program.
 // It always returns an Info; Info.Errors collects diagnostics.
 func Check(files ...*File) *Info {
-	c := &checker{
+	c := newChecker()
+	c.declPasses(files)
+	c.bodyPass(files)
+	return c.info
+}
+
+func newChecker() *checker {
+	return &checker{
 		info: &Info{
 			Types:    make(map[Expr]Type),
 			Uses:     make(map[*Ident]interface{}),
@@ -97,6 +104,11 @@ func Check(files ...*File) *Info {
 		},
 		laying: make(map[string]bool),
 	}
+}
+
+// declPasses runs passes 1-3: the whole-program declaration
+// environment, including global initializer expressions.
+func (c *checker) declPasses(files []*File) {
 	// Pass 1: struct tags and typedefs (typedefs resolve in order).
 	for _, f := range files {
 		for _, d := range f.Decls {
@@ -131,7 +143,10 @@ func Check(files ...*File) *Info {
 			}
 		}
 	}
-	// Pass 4: function bodies.
+}
+
+// bodyPass runs pass 4: function bodies.
+func (c *checker) bodyPass(files []*File) {
 	for _, f := range files {
 		for _, d := range f.Decls {
 			if fd, ok := d.(*FuncDecl); ok && fd.Body != nil {
@@ -139,7 +154,6 @@ func Check(files ...*File) *Info {
 			}
 		}
 	}
-	return c.info
 }
 
 func (c *checker) errorf(pos Pos, format string, args ...interface{}) {

@@ -39,6 +39,10 @@ type Options struct {
 	// true (disabling is the Section 7 ablation).
 	HeapCloning *bool
 	// Backend selects the pair-computation engine.
+	//
+	// Deprecated: set Solver.Backend. Normalize folds this alias into
+	// Solver (Solver wins when both are set) and mirrors the resolved
+	// value back, so the two spellings fingerprint identically.
 	Backend Backend
 	// DefUseRefinement enables the Section 4.3 / Figure 5(b)
 	// refinement the paper defers to future work: subregion and
@@ -76,7 +80,14 @@ type Options struct {
 	// the BDD backend runs (the zero value selects the kernel
 	// defaults). Like Observer it cannot change analysis results —
 	// only time and memory — so it is excluded from Fingerprint.
+	//
+	// Deprecated: set Solver.BDD. Normalize folds this alias into
+	// Solver (Solver wins when both are set) and mirrors the resolved
+	// value back.
 	BDD bdd.Config
+	// Solver groups how the analysis is solved: worker count, fixpoint
+	// budget, backend, and BDD sizing. See SolverOptions.
+	Solver SolverOptions
 }
 
 // prepare normalizes and validates options at an Analyze* boundary.
@@ -233,7 +244,9 @@ func (a *Analysis) pointerConfig() pointer.Config {
 		ReturnArgFns: map[string]int{"memcpy": 0, "memset": 0, "strcpy": 0, "strcat": 0, "memmove": 0},
 		HeapCloning:  *a.Opts.HeapCloning,
 		EntryParams:  len(a.Opts.Entries) > 0,
-		BDD:          a.Opts.BDD,
+		MaxRounds:    a.Opts.Solver.MaxRounds,
+		Workers:      a.Opts.Solver.Workers,
+		BDD:          a.Opts.Solver.BDD,
 	}
 	for _, fn := range a.Opts.ExtraAllocFns {
 		cfg.AllocFns[fn] = true

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/datalog"
 	"repro/internal/trace"
@@ -21,18 +22,21 @@ import (
 //
 // The result is identical to the explicit backend (asserted by tests);
 // the two differ only in how the relations are stored and joined.
+//
+// With Solver.Workers > 1 the strata are split across two BDD
+// managers and the independent parts run concurrently: manager A
+// solves the region strata (leq closure + regionPair complement)
+// while manager B loads the much larger own/access relations; the
+// regionPair result is then translated into B's encoding by
+// deterministic tuple enumeration and the verification join runs on
+// B. Each manager is single-owner throughout — the kernel is never
+// shared between goroutines — and both the tuple sets and the
+// enumeration order are schedule-independent, so the object pairs (and
+// so the report) are byte-identical to the single-manager solve.
 func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	if len(a.AccessEdges) == 0 {
 		return nil
 	}
-	p := datalog.NewProgramConfig(a.Opts.BDD)
-	if sp := trace.SpanFromContext(ctx); sp != nil {
-		p.M.OnEvent = func(kind string, nodes, capacity int) {
-			sp.Event("bdd_"+kind, trace.Int("nodes", nodes), trace.Int("capacity", capacity))
-		}
-	}
-	nR := uint64(len(a.Regions))
-	nO := uint64(len(a.Ptr.Objects))
 	// Offsets are interned into a dense domain.
 	offIdx := make(map[int64]uint64)
 	var offs []int64
@@ -42,28 +46,96 @@ func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 			offs = append(offs, e.Off)
 		}
 	}
-	R := p.Domain("R", nR)
-	O := p.Domain("O", nO)
-	N := p.Domain("N", uint64(len(offs)))
+	if a.Opts.Solver.Workers > 1 {
+		return a.objectPairsBDDSharded(ctx, offIdx, offs)
+	}
 
-	region := p.Relation("region", R.At(0))
-	parent := p.Relation("parent", R.At(0), R.At(1))
-	leq := p.Relation("leq", R.At(0), R.At(1))
-	regionPair := p.Relation("regionPair", R.At(0), R.At(1))
-	own := p.Relation("own", R.At(0), O.At(0))
-	access := p.Relation("access", O.At(0), N.At(0), O.At(1))
-	objectPair := p.Relation("objectPair", O.At(0), N.At(0), O.At(1))
-
-	for i := range a.Regions {
-		region.Add(uint64(i))
-		if i != RootRegion {
-			parent.Add(uint64(i), uint64(a.Regions[i].Parent))
+	p := datalog.NewProgramConfig(a.Opts.Solver.BDD)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		p.M.OnEvent = func(kind string, nodes, capacity int) {
+			sp.Event("bdd_"+kind, trace.Int("nodes", nodes), trace.Int("capacity", capacity))
 		}
 	}
+	rr := a.declareRegionRels(p)
+	or := a.declareObjectRels(p, len(offs))
+	a.loadRegionRels(rr)
+	a.loadObjectRels(or, offIdx)
+	a.solveRegionStrata(ctx, p, rr)
+	a.solveObjectStratum(ctx, p, rr.regionPair, or)
+
+	// Expose the engine's final footprint and kernel counters to the
+	// pipeline metrics (the pairs phase reports them as bdd_nodes /
+	// datalog_tuples / bdd_cache_* keys).
+	a.bddNodes = int64(p.NodeCount())
+	a.bddTuples = int64(p.TupleCount())
+	a.bddStats = p.M.Stats()
+
+	return a.collectObjectPairs(or, offs)
+}
+
+// regionRels are the relations of the region strata (manager A's half
+// of the sharded solve).
+type regionRels struct {
+	region, parent, leq, regionPair *datalog.Relation
+}
+
+// objectRels are the relations of the verification join (manager B's
+// half).
+type objectRels struct {
+	// regionPair mirrors the region strata's result in this manager's
+	// encoding (the same *Relation on the single-manager path).
+	regionPair  *datalog.Relation
+	own, access *datalog.Relation
+	objectPair  *datalog.Relation
+}
+
+func (a *Analysis) declareRegionRels(p *datalog.Program) regionRels {
+	R := p.Domain("R", uint64(len(a.Regions)))
+	return regionRels{
+		region:     p.Relation("region", R.At(0)),
+		parent:     p.Relation("parent", R.At(0), R.At(1)),
+		leq:        p.Relation("leq", R.At(0), R.At(1)),
+		regionPair: p.Relation("regionPair", R.At(0), R.At(1)),
+	}
+}
+
+func (a *Analysis) declareObjectRels(p *datalog.Program, nOffs int) objectRels {
+	// Lookup instead of redeclaring R on the single-manager path.
+	var R *datalog.LogicalDomain
+	if reg := p.Lookup("region"); reg != nil {
+		R = reg.Attrs()[0].Dom
+	} else {
+		R = p.Domain("R", uint64(len(a.Regions)))
+	}
+	O := p.Domain("O", uint64(len(a.Ptr.Objects)))
+	N := p.Domain("N", uint64(nOffs))
+	or := objectRels{
+		own:        p.Relation("own", R.At(0), O.At(0)),
+		access:     p.Relation("access", O.At(0), N.At(0), O.At(1)),
+		objectPair: p.Relation("objectPair", O.At(0), N.At(0), O.At(1)),
+	}
+	if reg := p.Lookup("regionPair"); reg != nil {
+		or.regionPair = reg
+	} else {
+		or.regionPair = p.Relation("regionPair", R.At(0), R.At(1))
+	}
+	return or
+}
+
+func (a *Analysis) loadRegionRels(rr regionRels) {
+	for i := range a.Regions {
+		rr.region.Add(uint64(i))
+		if i != RootRegion {
+			rr.parent.Add(uint64(i), uint64(a.Regions[i].Parent))
+		}
+	}
+}
+
+func (a *Analysis) loadObjectRels(or objectRels, offIdx map[int64]uint64) {
 	// φ⁼: regions own themselves (as objects) plus their allocations.
 	for i := 1; i < len(a.Regions); i++ {
 		if a.Regions[i].Obj >= 0 {
-			own.Add(uint64(i), uint64(a.Regions[i].Obj))
+			or.own.Add(uint64(i), uint64(a.Regions[i].Obj))
 		}
 	}
 	// Sorted object order keeps the BDD insertion sequence (and so the
@@ -75,7 +147,7 @@ func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	sort.Ints(objs)
 	for _, obj := range objs {
 		for _, r := range a.Owner[obj] {
-			own.Add(uint64(r), uint64(obj))
+			or.own.Add(uint64(r), uint64(obj))
 		}
 	}
 	// Non-region, non-allocated objects belong to the root (storage,
@@ -84,49 +156,51 @@ func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	for _, e := range a.AccessEdges {
 		if _, isRegion := a.regionOf[e.Dst]; !isRegion {
 			if _, owned := a.Owner[e.Dst]; !owned {
-				own.Add(uint64(RootRegion), uint64(e.Dst))
+				or.own.Add(uint64(RootRegion), uint64(e.Dst))
 			}
 		}
-		access.Add(uint64(e.Src), offIdx[e.Off], uint64(e.Dst))
+		or.access.Add(uint64(e.Src), offIdx[e.Off], uint64(e.Dst))
 	}
+}
 
+// solveRegionStrata runs strata 1 and 2 — the subregion closure and
+// its stratified complement.
+func (a *Analysis) solveRegionStrata(ctx context.Context, p *datalog.Program, rr regionRels) {
 	// Stratum 1: the subregion partial order (semi-naive, as bddbddb
 	// evaluates recursive rules). Each stratum gets its own span so
 	// traces show which of the three fixpoints dominates.
 	sctx, s1 := trace.StartSpan(ctx, "pairs.stratum:leq")
 	p.SolveSemiNaive(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(leq, "x", "x"), datalog.T(region, "x")),
-		datalog.NewRule(datalog.T(leq, "x", "y"), datalog.T(parent, "x", "y")),
-		datalog.NewRule(datalog.T(leq, "x", "z"), datalog.T(leq, "x", "y"), datalog.T(parent, "y", "z")),
+		datalog.NewRule(datalog.T(rr.leq, "x", "x"), datalog.T(rr.region, "x")),
+		datalog.NewRule(datalog.T(rr.leq, "x", "y"), datalog.T(rr.parent, "x", "y")),
+		datalog.NewRule(datalog.T(rr.leq, "x", "z"), datalog.T(rr.leq, "x", "y"), datalog.T(rr.parent, "y", "z")),
 	}, 0)
 	s1.End()
 	// Stratum 2: complement (safe, stratified negation).
 	sctx, s2 := trace.StartSpan(ctx, "pairs.stratum:regionPair")
 	p.Solve(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(regionPair, "x", "y"),
-			datalog.T(region, "x"), datalog.T(region, "y"), datalog.N(leq, "x", "y")),
+		datalog.NewRule(datalog.T(rr.regionPair, "x", "y"),
+			datalog.T(rr.region, "x"), datalog.T(rr.region, "y"), datalog.N(rr.leq, "x", "y")),
 	}, 0)
 	s2.End()
-	// Stratum 3: the verification join.
+}
+
+// solveObjectStratum runs stratum 3, the verification join.
+func (a *Analysis) solveObjectStratum(ctx context.Context, p *datalog.Program, regionPair *datalog.Relation, or objectRels) {
 	sctx, s3 := trace.StartSpan(ctx, "pairs.stratum:objectPair")
 	p.Solve(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(objectPair, "o1", "n", "o2"),
+		datalog.NewRule(datalog.T(or.objectPair, "o1", "n", "o2"),
 			datalog.T(regionPair, "x", "y"),
-			datalog.T(own, "x", "o1"),
-			datalog.T(own, "y", "o2"),
-			datalog.T(access, "o1", "n", "o2")),
+			datalog.T(or.own, "x", "o1"),
+			datalog.T(or.own, "y", "o2"),
+			datalog.T(or.access, "o1", "n", "o2")),
 	}, 0)
 	s3.End()
+}
 
-	// Expose the engine's final footprint and kernel counters to the
-	// pipeline metrics (the pairs phase reports them as bdd_nodes /
-	// datalog_tuples / bdd_cache_* keys).
-	a.bddNodes = int64(p.NodeCount())
-	a.bddTuples = int64(p.TupleCount())
-	a.bddStats = p.M.Stats()
-
+func (a *Analysis) collectObjectPairs(or objectRels, offs []int64) []ObjectPair {
 	var out []ObjectPair
-	objectPair.Each(func(t []uint64) bool {
+	or.objectPair.Each(func(t []uint64) bool {
 		e := AccessEdge{Src: int(t[0]), Off: offs[t[1]], Dst: int(t[2])}
 		if p, bad := a.checkEdge(e); bad {
 			out = append(out, p)
@@ -135,4 +209,64 @@ func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	})
 	sortPairs(out)
 	return out
+}
+
+// objectPairsBDDSharded is the Workers > 1 path: two single-owner BDD
+// managers working concurrently, joined by deterministic tuple
+// translation. See computeObjectPairsBDD for the argument that the
+// result is identical.
+func (a *Analysis) objectPairsBDDSharded(ctx context.Context, offIdx map[int64]uint64, offs []int64) []ObjectPair {
+	pA := datalog.NewProgramConfig(a.Opts.Solver.BDD)
+	pB := datalog.NewProgramConfig(a.Opts.Solver.BDD)
+	if sp := trace.SpanFromContext(ctx); sp != nil {
+		// The tracer is mutex-protected, so both managers may emit
+		// concurrently; the shard tag says which one grew.
+		for tag, p := range map[string]*datalog.Program{"A": pA, "B": pB} {
+			tag := tag
+			p.M.OnEvent = func(kind string, nodes, capacity int) {
+				sp.Event("bdd_"+kind,
+					trace.Int("nodes", nodes), trace.Int("capacity", capacity),
+					trace.Str("shard", tag))
+			}
+		}
+	}
+	rr := a.declareRegionRels(pA)
+	or := a.declareObjectRels(pB, len(offs))
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		a.loadRegionRels(rr)
+		a.solveRegionStrata(ctx, pA, rr)
+	}()
+	go func() {
+		defer wg.Done()
+		a.loadObjectRels(or, offIdx)
+	}()
+	wg.Wait()
+
+	// Join point: translate the regionPair summary from manager A's
+	// encoding to manager B's. Each enumerates tuples in a fixed
+	// (value-sorted) order, so the copy is deterministic.
+	rr.regionPair.Each(func(t []uint64) bool {
+		or.regionPair.Add(t...)
+		return true
+	})
+	a.solveObjectStratum(ctx, pB, or.regionPair, or)
+
+	// The footprint/counter outputs sum both managers. (They are
+	// phase metrics, not analysis results: the canonical report never
+	// includes them, and they legitimately differ from the
+	// single-manager solve's.)
+	a.bddNodes = int64(pA.NodeCount() + pB.NodeCount())
+	a.bddTuples = int64(pA.TupleCount() + pB.TupleCount())
+	sA, sB := pA.M.Stats(), pB.M.Stats()
+	a.bddStats = sA
+	a.bddStats.CacheHits += sB.CacheHits
+	a.bddStats.CacheMisses += sB.CacheMisses
+	a.bddStats.UniqueCollisions += sB.UniqueCollisions
+	a.bddStats.Grows += sB.Grows
+
+	return a.collectObjectPairs(or, offs)
 }

@@ -6,7 +6,37 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/bdd"
 )
+
+// SolverOptions groups every knob that controls *how* an analysis is
+// solved, as opposed to *what* it computes: worker count, fixpoint
+// budget, pair-computation backend, and BDD kernel sizing. It lives at
+// Options.Solver; the old top-level spellings (Options.Backend,
+// Options.BDD) remain as deprecated aliases that Normalize folds in,
+// so existing callers keep working and fingerprint identically.
+type SolverOptions struct {
+	// Workers bounds intra-analysis parallelism: the front end shards
+	// per file, the pointer fixpoint schedules call-graph SCCs
+	// leaf-to-root over this many workers, and the pairs phase runs
+	// independent work concurrently. 0 and 1 both mean the sequential
+	// solve. Reports are byte-identical for every worker count (the
+	// determinism tests and the oracle's workers matrix pin this), so
+	// Workers is excluded from Fingerprint like Observer is.
+	Workers int
+	// MaxRounds bounds the pointer fixpoint's iteration count
+	// (0 = unlimited). A cutoff changes results, so a nonzero value is
+	// fingerprinted.
+	MaxRounds int
+	// Backend selects the pair-computation engine.
+	Backend Backend
+	// BDD sizes the BDD kernel's node table and operation caches when
+	// the BDD backend runs (the zero value selects kernel defaults).
+	// Sizing changes time and memory, never results, so it is excluded
+	// from Fingerprint.
+	BDD bdd.Config
+}
 
 // Validate checks the invariants an Options value must satisfy before
 // an analysis can run: KCFA may not be negative, every region-creation
@@ -20,6 +50,12 @@ import (
 func (o Options) Validate() error {
 	if o.KCFA < 0 {
 		return Errf(ErrConfig, "", "options: negative KCFA %d", o.KCFA)
+	}
+	if o.Solver.Workers < 0 {
+		return Errf(ErrConfig, "", "options: negative Solver.Workers %d", o.Solver.Workers)
+	}
+	if o.Solver.MaxRounds < 0 {
+		return Errf(ErrConfig, "", "options: negative Solver.MaxRounds %d", o.Solver.MaxRounds)
 	}
 	if o.Entry == "" && o.Entries == nil {
 		return Errf(ErrConfig, "", "options: empty Entry with nil Entries: no analysis root")
@@ -64,6 +100,19 @@ func (o Options) Normalize() Options {
 		t := true
 		o.HeapCloning = &t
 	}
+	// Fold the deprecated top-level solver spellings into Solver, then
+	// mirror back so both spellings read the same afterwards. The new
+	// field wins when both are set (ExplicitBackend and the zero
+	// bdd.Config are "unset" — they are also the defaults, so the
+	// resolution is lossless).
+	if o.Solver.Backend == ExplicitBackend {
+		o.Solver.Backend = o.Backend
+	}
+	o.Backend = o.Solver.Backend
+	if o.Solver.BDD == (bdd.Config{}) {
+		o.Solver.BDD = o.BDD
+	}
+	o.BDD = o.Solver.BDD
 	o.ExtraAllocFns = sortedUnique(o.ExtraAllocFns)
 	return o
 }
@@ -103,8 +152,14 @@ func (o Options) Fingerprint() string {
 		fmt.Fprintf(h, "entries=%q\n", o.Entries)
 	}
 	fmt.Fprintf(h, "cap=%d cloning=%t backend=%d kcfa=%d refine=%t\n",
-		o.ContextCap, *o.HeapCloning, o.Backend, o.KCFA, o.DefUseRefinement)
+		o.ContextCap, *o.HeapCloning, o.Solver.Backend, o.KCFA, o.DefUseRefinement)
 	fmt.Fprintf(h, "extra_alloc=%q\n", o.ExtraAllocFns)
+	// A fixpoint cutoff changes results; 0 (unlimited, the default) is
+	// not written so pre-SolverOptions digests stay valid. Workers and
+	// BDD sizing are deliberately absent — neither can change results.
+	if o.Solver.MaxRounds != 0 {
+		fmt.Fprintf(h, "max_rounds=%d\n", o.Solver.MaxRounds)
+	}
 	if o.ImplicitSpecs == nil {
 		io.WriteString(h, "implicit=default\n")
 	} else {

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+)
+
+// The deprecated top-level solver spellings (Options.Backend,
+// Options.BDD) and the SolverOptions spellings must configure the same
+// analysis: identical fingerprints, and Normalize mirrors whichever
+// side was set into the other.
+
+func TestSolverOptionsFingerprintAliases(t *testing.T) {
+	old := Options{Backend: BDDBackend, BDD: bdd.Config{NodeSize: 1 << 14, CacheRatio: 2}}
+	niu := Options{Solver: SolverOptions{Backend: BDDBackend, BDD: bdd.Config{NodeSize: 1 << 14, CacheRatio: 2}}}
+	if old.Fingerprint() != niu.Fingerprint() {
+		t.Errorf("old and new backend spellings fingerprint differently:\n old %s\n new %s",
+			old.Fingerprint(), niu.Fingerprint())
+	}
+	both := Options{Backend: BDDBackend, Solver: SolverOptions{Backend: BDDBackend}}
+	if both.Fingerprint() != niu.Fingerprint() {
+		t.Errorf("setting both spellings fingerprints differently from setting one")
+	}
+	if def, seq := (Options{}).Fingerprint(), (Options{Solver: SolverOptions{Backend: ExplicitBackend}}).Fingerprint(); def != seq {
+		t.Errorf("explicit ExplicitBackend fingerprints differently from the default")
+	}
+}
+
+func TestSolverOptionsNormalizeMirrors(t *testing.T) {
+	cfg := bdd.Config{NodeSize: 4096}
+
+	n := Options{Solver: SolverOptions{Backend: BDDBackend, BDD: cfg}}.Normalize()
+	if n.Backend != BDDBackend || n.BDD != cfg {
+		t.Errorf("Solver fields did not mirror to deprecated aliases: Backend=%v BDD=%+v", n.Backend, n.BDD)
+	}
+
+	n = Options{Backend: BDDBackend, BDD: cfg}.Normalize()
+	if n.Solver.Backend != BDDBackend || n.Solver.BDD != cfg {
+		t.Errorf("deprecated aliases did not fold into Solver: %+v", n.Solver)
+	}
+
+	// When both are set the new spelling wins.
+	n = Options{
+		Backend: BDDBackend, BDD: bdd.Config{NodeSize: 1},
+		Solver: SolverOptions{Backend: BDDBackend, BDD: cfg},
+	}.Normalize()
+	if n.Solver.BDD != cfg || n.BDD != cfg {
+		t.Errorf("Solver.BDD should win over the deprecated alias: solver=%+v alias=%+v", n.Solver.BDD, n.BDD)
+	}
+}
+
+func TestSolverOptionsFingerprintExclusions(t *testing.T) {
+	base := Options{}
+	for _, o := range []Options{
+		{Solver: SolverOptions{Workers: 4}},
+		{Solver: SolverOptions{Workers: 16}},
+		{Solver: SolverOptions{BDD: bdd.Config{NodeSize: 1 << 20}}},
+		{BDD: bdd.Config{NodeSize: 1 << 20, CacheRatio: 8}},
+	} {
+		if o.Fingerprint() != base.Fingerprint() {
+			t.Errorf("options %+v changed the fingerprint; Workers and BDD sizing cannot change results and must not key the cache", o.Solver)
+		}
+	}
+	// MaxRounds does change results, so it must be fingerprinted — but
+	// only when nonzero, so pre-SolverOptions digests stay valid.
+	if (Options{Solver: SolverOptions{MaxRounds: 3}}).Fingerprint() == base.Fingerprint() {
+		t.Errorf("nonzero MaxRounds did not change the fingerprint")
+	}
+	if (Options{Solver: SolverOptions{MaxRounds: 0}}).Fingerprint() != base.Fingerprint() {
+		t.Errorf("zero MaxRounds changed the fingerprint")
+	}
+}
+
+func TestSolverOptionsValidate(t *testing.T) {
+	ok := Options{Entry: "main"}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid options rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		o    Options
+		want string
+	}{
+		{"negative workers", Options{Entry: "main", Solver: SolverOptions{Workers: -1}}, "Solver.Workers"},
+		{"negative max rounds", Options{Entry: "main", Solver: SolverOptions{MaxRounds: -2}}, "Solver.MaxRounds"},
+	} {
+		err := tc.o.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.o.Solver)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestSolverWorkersSameReport is the API-level determinism pin: the
+// same sources at workers 0, 1, 2, and 4 render the same report text.
+func TestSolverWorkersSameReport(t *testing.T) {
+	sources := map[string]string{
+		"a.c": `
+struct node { int *p; };
+void *apr_palloc(void *r, int n);
+void apr_pool_create(void **np, void *parent);
+void apr_pool_destroy(void *r);
+void fill(void *r, struct node *n) { n->p = apr_palloc(r, 4); }
+int main() {
+    void *root; void *sub;
+    apr_pool_create(&root, 0);
+    apr_pool_create(&sub, root);
+    struct node *n = apr_palloc(root, 8);
+    fill(sub, n);
+    apr_pool_destroy(sub);
+    return 0;
+}`,
+	}
+	var want string
+	for _, w := range []int{0, 1, 2, 4} {
+		a, err := AnalyzeSource(Options{Solver: SolverOptions{Workers: w}}, sources)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		got := canonicalReportText(t, a.Report)
+		if w == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("workers=%d report differs from sequential:\n%s\nwant:\n%s", w, got, want)
+		}
+	}
+}
+
+// canonicalReportText renders a report with the volatile stats (wall
+// time, per-phase metrics) removed — the same byte-equality contract
+// the oracle and regionbench use.
+func canonicalReportText(t *testing.T, r *Report) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	var m map[string]interface{}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if stats, ok := m["stats"].(map[string]interface{}); ok {
+		delete(stats, "time_ms")
+		delete(stats, "phases")
+	}
+	out, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("remarshal report: %v", err)
+	}
+	return string(out)
+}

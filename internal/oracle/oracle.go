@@ -116,16 +116,28 @@ type AnalysisConfig struct {
 	// configurations (context merging, k-CFA) are checked too, but
 	// their failures must match an allowlist entry.
 	Sound bool
+	// SameReportsAs names a config whose canonical reports this one
+	// must reproduce byte-for-byte on both backends — the invariant
+	// that makes a knob "results-neutral" (solver worker counts, BDD
+	// sizing). Empty means no cross-config requirement.
+	SameReportsAs string
 }
 
 // DefaultConfigs returns the configuration matrix: the sound default
-// (full call-path cloning, heap cloning on), the context-insensitive
-// ablation (ContextCap 1 — documented unsound: merging loses the
-// distinctions TestContextSensitivityMatters pins), and 2-CFA
-// numbering (bounded call strings merge deep paths the same way).
+// (full call-path cloning, heap cloning on), the same analysis solved
+// on four workers (must reproduce the default's reports byte-for-byte
+// — parallelism is results-neutral by contract), the
+// context-insensitive ablation (ContextCap 1 — documented unsound:
+// merging loses the distinctions TestContextSensitivityMatters pins),
+// and 2-CFA numbering (bounded call strings merge deep paths the same
+// way).
 func DefaultConfigs() []AnalysisConfig {
 	return []AnalysisConfig{
 		{Name: "default", Opts: core.Options{}, Sound: true},
+		{Name: "workers4",
+			Opts:          core.Options{Solver: core.SolverOptions{Workers: 4}},
+			Sound:         true,
+			SameReportsAs: "default"},
 		{Name: "cap1", Opts: core.Options{ContextCap: 1}},
 		{Name: "kcfa2", Opts: core.Options{KCFA: 2}},
 	}
@@ -283,9 +295,9 @@ func (h *Harness) Check(c *Case) (*CaseResult, error) {
 	}
 	for _, cfg := range h.Configs {
 		expOpts := cfg.Opts
-		expOpts.Backend = core.ExplicitBackend
+		expOpts.Solver.Backend = core.ExplicitBackend
 		bddOpts := cfg.Opts
-		bddOpts.Backend = core.BDDBackend
+		bddOpts.Solver.Backend = core.BDDBackend
 
 		exp, err := analyze(expOpts, c.Sources)
 		if err != nil {
@@ -356,6 +368,29 @@ func (h *Harness) Check(c *Case) (*CaseResult, error) {
 				}
 			}
 			res.Violations = append(res.Violations, v)
+		}
+	}
+
+	// Cross-config identity: configs that differ only in
+	// results-neutral knobs (worker counts) must have reproduced their
+	// reference config's canonical reports on both backends.
+	for _, cfg := range h.Configs {
+		if cfg.SameReportsAs == "" {
+			continue
+		}
+		for _, backend := range []string{"explicit", "bdd"} {
+			want, ok := res.Reports[cfg.SameReportsAs+"/"+backend]
+			if !ok {
+				continue
+			}
+			got := res.Reports[cfg.Name+"/"+backend]
+			if string(got) != string(want) {
+				res.Violations = append(res.Violations, Violation{
+					Kind:   KindDeterminism,
+					Config: cfg.Name + "~" + cfg.SameReportsAs + "/" + backend,
+					Detail: firstDiff(want, got),
+				})
+			}
 		}
 	}
 	return res, nil

@@ -4,9 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunCorpusOrderAndResults(t *testing.T) {
@@ -120,5 +122,41 @@ func TestRunCorpusEmpty(t *testing.T) {
 		func(_ context.Context, _ int) (int, error) { return 0, nil })
 	if len(results) != 0 {
 		t.Errorf("%d results for empty input", len(results))
+	}
+}
+
+// TestRunCorpusZeroJobsMeansGOMAXPROCS pins the documented contract
+// shared by regionbench -jobs and the oracle sweep's Jobs: zero (and
+// any negative) means GOMAXPROCS workers, not one. The test forces
+// GOMAXPROCS to a known value and requires that many jobs to be in
+// flight at once — if zero collapsed to a single worker the barrier
+// could never fill.
+func TestRunCorpusZeroJobsMeansGOMAXPROCS(t *testing.T) {
+	const procs = 3
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+	for _, jobs := range []int{0, -1} {
+		inputs := make([]int, 2*procs)
+		arrived := make(chan struct{}, len(inputs))
+		release := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			RunCorpus(context.Background(), inputs, jobs,
+				func(_ context.Context, n int) (int, error) {
+					arrived <- struct{}{}
+					<-release
+					return n, nil
+				})
+			close(done)
+		}()
+		for i := 0; i < procs; i++ {
+			select {
+			case <-arrived:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("jobs=%d with GOMAXPROCS=%d: only %d jobs started concurrently, want %d",
+					jobs, procs, i, procs)
+			}
+		}
+		close(release)
+		<-done
 	}
 }

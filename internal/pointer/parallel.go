@@ -1,0 +1,495 @@
+package pointer
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/contexts"
+	"repro/internal/ir"
+	"repro/internal/trace"
+)
+
+// This file is the Config.Workers > 1 solver. The design problem is
+// determinism: downstream phases expose object IDs through region
+// indices and warning order, so a parallel solve must produce not just
+// the same least fixpoint but the *same object numbering* as the
+// sequential solver, or reports would shift with the worker count.
+//
+// The solution rests on an invariant of the sequential solver: every
+// interning site (allocate, Addr/syncAddrTaken's variable storage,
+// evalOpd's string literals) fires unconditionally for its
+// (function, context, instruction) visit — none is guarded by
+// points-to state. The object table is therefore complete after the
+// first sequential round, and its order is a pure function of the
+// static sweep order. internPrepass replays exactly that sweep without
+// touching points-to state, so the parallel solver starts from the
+// very object table the sequential solver would build, and the
+// fixpoint rounds never intern at all — they only look IDs up.
+//
+// The rounds themselves schedule the call graph's SCC DAG leaf-first:
+// components on one level share no call edge, so their (function,
+// context-block) tasks read a frozen snapshot of the points-to state
+// and write private deltas, committed between levels. Chaotic
+// iteration of a monotone constraint system converges to the same
+// least fixpoint under any fair schedule, so the final pts/heap sets
+// equal the sequential ones; only Rounds (a phase metric) may differ.
+
+// SchedStats describes the parallel solver's schedule.
+type SchedStats struct {
+	// Workers is the pool size the solve actually used.
+	Workers int
+	// Comps and Levels describe the condensed call graph.
+	Comps, Levels int
+	// Tasks is the number of (function, level) solve tasks per round.
+	Tasks int
+	// LevelWall accumulates wall time per DAG level across rounds,
+	// leaf level first.
+	LevelWall []time.Duration
+}
+
+// delta is one task's private write set. Facts already present in the
+// shared base state are never added, so base and delta stay disjoint.
+type delta struct {
+	pts  map[varKey]map[Loc]bool
+	heap map[heapKey]map[Loc]bool
+}
+
+func newDelta() *delta {
+	return &delta{
+		pts:  make(map[varKey]map[Loc]bool),
+		heap: make(map[heapKey]map[Loc]bool),
+	}
+}
+
+// solveParallel runs the level-scheduled parallel fixpoint. The
+// EntryParams seeding has already happened in solve.
+func (r *Result) solveParallel(sp *trace.Span, funcs []string) {
+	r.internPrepass(funcs)
+	dag := r.Numbering.DAG
+	if dag == nil {
+		// KCFA numberings don't carry the condensation; build it here.
+		dag = r.Numbering.G.Condense()
+	}
+	// One task per function, grouped by DAG level (leaf level first).
+	// Components within a level are mutually call-free, so their
+	// functions may solve concurrently against the frozen base.
+	levels := make([][]string, len(dag.Levels))
+	tasks := 0
+	for li, comps := range dag.Levels {
+		for _, c := range comps {
+			levels[li] = append(levels[li], dag.Comps[c]...)
+		}
+		tasks += len(levels[li])
+	}
+	r.Sched = &SchedStats{
+		Workers:   r.Config.Workers,
+		Comps:     len(dag.Comps),
+		Levels:    len(levels),
+		Tasks:     tasks,
+		LevelWall: make([]time.Duration, len(levels)),
+	}
+	if sp != nil {
+		sp.Attrs(
+			trace.Int("workers", r.Config.Workers),
+			trace.Int("sccs", len(dag.Comps)),
+			trace.Int("levels", len(levels)))
+	}
+
+	for {
+		r.Rounds++
+		roundSp := sp.Child("round")
+		changed := false
+		for li, fns := range levels {
+			t0 := time.Now()
+			deltas := make([]*delta, len(fns))
+			r.runLevel(fns, deltas)
+			for _, d := range deltas {
+				if r.commit(d) {
+					changed = true
+				}
+			}
+			r.Sched.LevelWall[li] += time.Since(t0)
+		}
+		if roundSp != nil {
+			roundSp.End(
+				trace.Int("round", r.Rounds),
+				trace.Bool("changed", changed),
+				trace.Int("pts_edges", r.PtsSize()),
+				trace.Int("heap_edges", r.HeapSize()),
+				trace.Int("objects", len(r.Objects)))
+		}
+		if !changed {
+			r.Converged = true
+			sp.End(trace.Int("rounds", r.Rounds), trace.Bool("converged", true))
+			return
+		}
+		if r.Config.MaxRounds > 0 && r.Rounds >= r.Config.MaxRounds {
+			// Same cutoff contract as the sequential solver. Note that
+			// a cutoff is schedule-sensitive: the under-approximation
+			// reached after N parallel rounds need not equal the one
+			// after N sequential rounds (only the converged fixpoint
+			// is schedule-independent).
+			sp.Event("max_rounds_exceeded", trace.Int("max_rounds", r.Config.MaxRounds))
+			sp.End(trace.Int("rounds", r.Rounds), trace.Bool("converged", false))
+			return
+		}
+	}
+}
+
+// runLevel evaluates one level's function tasks on the worker pool.
+// Task i writes only deltas[i]; the shared Result is read-only during
+// the level.
+func (r *Result) runLevel(fns []string, deltas []*delta) {
+	workers := r.Config.Workers
+	if workers > len(fns) {
+		workers = len(fns)
+	}
+	if workers <= 1 {
+		for i, fn := range fns {
+			deltas[i] = r.runTask(fn)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				deltas[i] = r.runTask(fns[i])
+			}
+		}()
+	}
+	for i := range fns {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// runTask solves one function over all its contexts against the
+// frozen base, Gauss-Seidel within the task (reads see the task's own
+// delta), Jacobi across tasks.
+func (r *Result) runTask(fn string) *delta {
+	t := &parTask{r: r, d: newDelta()}
+	f := r.Prog.Funcs[fn]
+	count := r.Numbering.Count[fn]
+	for cx := uint64(0); cx < count; cx++ {
+		for _, in := range f.Instrs {
+			t.step(fn, cx, in)
+		}
+		t.syncAddrTaken(f, cx)
+	}
+	return t.d
+}
+
+// commit folds a task delta into the shared state, reporting whether
+// any fact was new (a fact may arrive from several tasks; it counts
+// once).
+func (r *Result) commit(d *delta) bool {
+	changed := false
+	for k, set := range d.pts {
+		for l := range set {
+			if r.addPts(k, l) {
+				changed = true
+			}
+		}
+	}
+	for k, set := range d.heap {
+		for l := range set {
+			if r.addHeap(k, l) {
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+// internPrepass replays the sequential solver's interning sweep —
+// same function order, context order, instruction order, and case
+// order — without evaluating any points-to state, so r.Objects,
+// r.objID, and r.allocAt end up exactly as a sequential round one
+// would leave them. It also pre-builds the address-taken cache the
+// tasks read.
+func (r *Result) internPrepass(funcs []string) {
+	r.buildAddrTaken()
+	internOpd := func(o ir.Operand) {
+		if o.Kind == ir.StringOpd {
+			r.intern(Obj{Kind: StringObj, Str: o.Str})
+		}
+	}
+	n := r.Numbering
+	for _, fn := range funcs {
+		f := r.Prog.Funcs[fn]
+		count := n.Count[fn]
+		for cx := uint64(0); cx < count; cx++ {
+			for _, in := range f.Instrs {
+				switch in.Op {
+				case ir.Assign:
+					internOpd(in.Src)
+				case ir.Addr:
+					v := in.Src.Var
+					octx := cx
+					if v.Global || !r.Config.HeapCloning {
+						octx = 0
+					}
+					r.intern(Obj{Kind: VarStorageObj, Ctx: octx, Var: v})
+				case ir.FieldAddr:
+					internOpd(in.Base)
+				case ir.Load:
+					internOpd(in.Base)
+				case ir.Store:
+					internOpd(in.Src)
+					internOpd(in.Base)
+				case ir.Call:
+					for _, callee := range n.G.Edges[in.ID] {
+						target := r.Prog.Funcs[callee]
+						if target == nil || !n.G.Reachable[callee] {
+							continue
+						}
+						for i, a := range in.Args {
+							if i >= len(target.Params) {
+								break
+							}
+							internOpd(a)
+						}
+					}
+					for _, name := range r.externCallees(in) {
+						switch {
+						case r.Config.AllocFns[name]:
+							r.allocate(name, cx, in)
+						case hasKey(r.Config.OutAllocFns, name):
+							argIdx := r.Config.OutAllocFns[name]
+							r.allocate(name, cx, in)
+							if argIdx < len(in.Args) {
+								internOpd(in.Args[argIdx])
+							}
+						case hasKey(r.Config.ReturnArgFns, name):
+							argIdx := r.Config.ReturnArgFns[name]
+							if argIdx < len(in.Args) && in.Dst.Kind == ir.VarOpd {
+								internOpd(in.Args[argIdx])
+							}
+						}
+					}
+				}
+			}
+			for _, v := range r.addrTakenVars(f, cx) {
+				if v.Global && cx != 0 {
+					continue
+				}
+				octx := cx
+				if v.Global || !r.Config.HeapCloning {
+					octx = 0
+				}
+				r.intern(Obj{Kind: VarStorageObj, Ctx: octx, Var: v})
+			}
+		}
+	}
+}
+
+// parTask mirrors the sequential transfer functions with overlay
+// reads (frozen base ∪ private delta) and delta-only writes. The
+// interning sites become lookups: the prepass has interned every
+// object this sweep can mention.
+type parTask struct {
+	r *Result
+	d *delta
+}
+
+func (t *parTask) objIDOf(o Obj) int {
+	id, ok := t.r.objID[o]
+	if !ok {
+		// The prepass invariant was violated — a solver bug, not an
+		// input condition; fail loudly rather than drop facts.
+		panic("pointer: parallel solve saw an object the intern prepass missed")
+	}
+	return id
+}
+
+// addPts adds to the delta unless the base (or the delta) already has
+// the fact, preserving base∩delta = ∅.
+func (t *parTask) addPts(k varKey, l Loc) {
+	if t.r.pts[k][l] {
+		return
+	}
+	set := t.d.pts[k]
+	if set == nil {
+		set = make(map[Loc]bool)
+		t.d.pts[k] = set
+	}
+	set[l] = true
+}
+
+func (t *parTask) addHeap(k heapKey, l Loc) {
+	if t.r.heap[k][l] {
+		return
+	}
+	set := t.d.heap[k]
+	if set == nil {
+		set = make(map[Loc]bool)
+		t.d.heap[k] = set
+	}
+	set[l] = true
+}
+
+// ptsLocs returns base ∪ delta for a variable key (disjoint by
+// construction, so no dedup needed). Order is irrelevant: every
+// consumer feeds a set.
+func (t *parTask) ptsLocs(k varKey) []Loc {
+	base, d := t.r.pts[k], t.d.pts[k]
+	out := make([]Loc, 0, len(base)+len(d))
+	for l := range base {
+		out = append(out, l)
+	}
+	for l := range d {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (t *parTask) heapLocs(k heapKey) []Loc {
+	base, d := t.r.heap[k], t.d.heap[k]
+	out := make([]Loc, 0, len(base)+len(d))
+	for l := range base {
+		out = append(out, l)
+	}
+	for l := range d {
+		out = append(out, l)
+	}
+	return out
+}
+
+func (t *parTask) evalOpd(o ir.Operand, ctx uint64) []Loc {
+	switch o.Kind {
+	case ir.VarOpd:
+		return t.ptsLocs(t.r.key(o.Var, ctx))
+	case ir.StringOpd:
+		return []Loc{{Obj: t.objIDOf(Obj{Kind: StringObj, Str: o.Str})}}
+	}
+	return nil
+}
+
+func (t *parTask) step(fn string, ctx uint64, in *ir.Instr) {
+	r := t.r
+	flowTo := func(dst ir.Operand, locs []Loc) {
+		if dst.Kind != ir.VarOpd {
+			return
+		}
+		k := r.key(dst.Var, ctx)
+		for _, l := range locs {
+			t.addPts(k, l)
+		}
+	}
+	switch in.Op {
+	case ir.Assign:
+		flowTo(in.Dst, t.evalOpd(in.Src, ctx))
+	case ir.Addr:
+		v := in.Src.Var
+		octx := ctx
+		if v.Global || !r.Config.HeapCloning {
+			octx = 0
+		}
+		id := t.objIDOf(Obj{Kind: VarStorageObj, Ctx: octx, Var: v})
+		flowTo(in.Dst, []Loc{{Obj: id}})
+	case ir.FieldAddr:
+		base := t.evalOpd(in.Base, ctx)
+		locs := make([]Loc, len(base))
+		for i, l := range base {
+			locs[i] = Loc{Obj: l.Obj, Off: l.Off + in.Off}
+		}
+		flowTo(in.Dst, locs)
+	case ir.Load:
+		var locs []Loc
+		for _, b := range t.evalOpd(in.Base, ctx) {
+			locs = append(locs, t.heapLocs(heapKey{b.Obj, b.Off + in.Off})...)
+		}
+		flowTo(in.Dst, locs)
+	case ir.Store:
+		src := t.evalOpd(in.Src, ctx)
+		for _, b := range t.evalOpd(in.Base, ctx) {
+			k := heapKey{b.Obj, b.Off + in.Off}
+			for _, l := range src {
+				t.addHeap(k, l)
+			}
+		}
+	case ir.Call:
+		t.stepCall(fn, ctx, in)
+	case ir.Ret:
+		// Handled by the caller-side wiring in stepCall.
+	}
+}
+
+func (t *parTask) stepCall(fn string, ctx uint64, in *ir.Instr) {
+	r := t.r
+	n := r.Numbering
+	for _, callee := range n.G.Edges[in.ID] {
+		target := r.Prog.Funcs[callee]
+		if target == nil || !n.G.Reachable[callee] {
+			continue
+		}
+		calleeCtx := n.MapContext(fn, ctx, contexts.Edge{Instr: in.ID, Callee: callee})
+		for i, a := range in.Args {
+			if i >= len(target.Params) {
+				break
+			}
+			pk := r.key(target.Params[i], calleeCtx)
+			for _, l := range t.evalOpd(a, ctx) {
+				t.addPts(pk, l)
+			}
+		}
+		if in.Dst.Kind == ir.VarOpd && target.RetVal != nil {
+			dk := r.key(in.Dst.Var, ctx)
+			for _, l := range t.ptsLocs(r.key(target.RetVal, calleeCtx)) {
+				t.addPts(dk, l)
+			}
+		}
+	}
+	for _, name := range r.externCallees(in) {
+		switch {
+		case r.Config.AllocFns[name]:
+			id := r.allocAt[varKey2{ctx, in.ID}]
+			if in.Dst.Kind == ir.VarOpd {
+				t.addPts(r.key(in.Dst.Var, ctx), Loc{Obj: id})
+			}
+		case hasKey(r.Config.OutAllocFns, name):
+			argIdx := r.Config.OutAllocFns[name]
+			id := r.allocAt[varKey2{ctx, in.ID}]
+			if argIdx < len(in.Args) {
+				for _, b := range t.evalOpd(in.Args[argIdx], ctx) {
+					t.addHeap(heapKey{b.Obj, b.Off}, Loc{Obj: id})
+				}
+			}
+		case hasKey(r.Config.ReturnArgFns, name):
+			argIdx := r.Config.ReturnArgFns[name]
+			if argIdx < len(in.Args) && in.Dst.Kind == ir.VarOpd {
+				dk := r.key(in.Dst.Var, ctx)
+				for _, l := range t.evalOpd(in.Args[argIdx], ctx) {
+					t.addPts(dk, l)
+				}
+			}
+		}
+	}
+}
+
+func (t *parTask) syncAddrTaken(f *ir.Func, ctx uint64) {
+	r := t.r
+	for _, v := range r.addrTakenVars(f, ctx) {
+		if v.Global && ctx != 0 {
+			continue
+		}
+		octx := ctx
+		if v.Global || !r.Config.HeapCloning {
+			octx = 0
+		}
+		id := t.objIDOf(Obj{Kind: VarStorageObj, Ctx: octx, Var: v})
+		cell := heapKey{id, 0}
+		vk := r.key(v, ctx)
+		for _, l := range t.heapLocs(cell) {
+			t.addPts(vk, l)
+		}
+		for _, l := range t.ptsLocs(vk) {
+			t.addHeap(cell, l)
+		}
+	}
+}

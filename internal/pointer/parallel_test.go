@@ -1,0 +1,238 @@
+package pointer
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/callgraph"
+	"repro/internal/cminor"
+	"repro/internal/contexts"
+	"repro/internal/ir"
+)
+
+// parallelPrograms exercise the solver shapes that stress the parallel
+// scheduler: deep call chains (many DAG levels), recursion and mutual
+// recursion (multi-function SCCs solved as same-level sibling tasks),
+// heap cloning across contexts, address-taken locals and globals,
+// function pointers, out-param allocators, and string literals.
+var parallelPrograms = map[string]string{
+	"chain": `
+extern void *malloc(unsigned long n);
+int *leaf(void) { int *p; p = malloc(4); return p; }
+int *mid(void) { return leaf(); }
+int *top(void) { return mid(); }
+int main(void) { int *a; int *b; a = top(); b = top(); return 0; }`,
+	"mutual": `
+extern void *malloc(unsigned long n);
+int *f(int n);
+int *g(int n) { if (n) return f(n - 1); return malloc(8); }
+int *f(int n) { if (n) return g(n - 1); return malloc(4); }
+int main(void) { int *p; p = f(3); return 0; }`,
+	"addrtaken": `
+extern void *malloc(unsigned long n);
+int *G;
+void set(int **pp) { *pp = malloc(4); }
+int main(void) {
+    int *l;
+    set(&l);
+    set(&G);
+    return 0;
+}`,
+	"outalloc": `
+typedef struct pool pool_t;
+extern int apr_pool_create(pool_t **newpool, pool_t *parent);
+int main(void) {
+    pool_t *root;
+    pool_t *child;
+    apr_pool_create(&root, 0);
+    apr_pool_create(&child, root);
+    return 0;
+}`,
+	"funptr": `
+extern void *malloc(unsigned long n);
+extern void *memcpy(void *d, void *s, unsigned long n);
+int *alloc4(void) { return malloc(4); }
+int *alloc8(void) { return malloc(8); }
+int main(void) {
+    int *(*fp)(void);
+    int *p;
+    char *s;
+    char buf[8];
+    if (1) fp = alloc4; else fp = alloc8;
+    p = fp();
+    s = memcpy(buf, "hello", 5);
+    return 0;
+}`,
+	"fields": `
+extern void *malloc(unsigned long n);
+struct node { struct node *next; int *data; };
+int main(void) {
+    struct node *a;
+    struct node *b;
+    a = malloc(16);
+    b = malloc(16);
+    a->next = b;
+    b->data = malloc(4);
+    a->next->data = malloc(4);
+    return 0;
+}`,
+}
+
+// snapshot captures everything the downstream analysis can observe
+// from a Result, in canonical order.
+func snapshot(r *Result) string {
+	s := fmt.Sprintf("objects=%d\n", len(r.Objects))
+	for id, o := range r.Objects {
+		site := -1
+		if o.Site != nil {
+			site = o.Site.ID
+		}
+		name := ""
+		if o.Var != nil {
+			name = o.Var.Name
+		}
+		s += fmt.Sprintf("obj %d: kind=%d ctx=%d site=%d var=%q str=%d fn=%q\n",
+			id, o.Kind, o.Ctx, site, name, o.Str, o.Fn)
+	}
+	for _, v := range r.Prog.Vars {
+		fn := ""
+		if v.Func != nil {
+			fn = v.Func.Name
+		}
+		count := uint64(1)
+		if fn != "" {
+			count = r.Numbering.Count[fn]
+		}
+		for cx := uint64(0); cx < count; cx++ {
+			if locs := r.PointsTo(v, cx); len(locs) != 0 {
+				s += fmt.Sprintf("pts %s.%s@%d = %v\n", fn, v.Name, cx, locs)
+			}
+		}
+	}
+	r.EachHeap(func(obj int, off int64, l Loc) {
+		s += fmt.Sprintf("heap (%d,%d) -> %v\n", obj, off, l)
+	})
+	return s
+}
+
+// TestParallelMatchesSequential is the core determinism claim of the
+// parallel solver: for every worker count the object table (IDs
+// included), the points-to relation, and the heap are byte-identical
+// to the sequential solve.
+func TestParallelMatchesSequential(t *testing.T) {
+	for name, src := range parallelPrograms {
+		t.Run(name, func(t *testing.T) {
+			seq := analyze(t, src)
+			if !seq.Converged {
+				t.Fatalf("sequential solve did not converge")
+			}
+			want := snapshot(seq)
+			for _, workers := range []int{2, 4, 8} {
+				cfg := testConfig
+				cfg.Workers = workers
+				par := analyzeCfg(t, src, cfg)
+				if !par.Converged {
+					t.Fatalf("workers=%d: did not converge", workers)
+				}
+				if got := snapshot(par); got != want {
+					t.Errorf("workers=%d: state differs from sequential\n--- sequential ---\n%s--- parallel ---\n%s", workers, want, got)
+				}
+				if par.Sched == nil {
+					t.Fatalf("workers=%d: Sched not recorded", workers)
+				}
+				if par.Sched.Workers != workers {
+					t.Errorf("Sched.Workers = %d, want %d", par.Sched.Workers, workers)
+				}
+				if par.Sched.Levels != len(par.Sched.LevelWall) {
+					t.Errorf("Sched.Levels = %d but %d LevelWall entries",
+						par.Sched.Levels, len(par.Sched.LevelWall))
+				}
+			}
+		})
+	}
+}
+
+// TestParallelWithoutHeapCloning covers the octx=0 object collapse.
+func TestParallelWithoutHeapCloning(t *testing.T) {
+	src := parallelPrograms["chain"]
+	cfg := testConfig
+	cfg.HeapCloning = false
+	seq := analyzeCfg(t, src, cfg)
+	cfg.Workers = 4
+	par := analyzeCfg(t, src, cfg)
+	if got, want := snapshot(par), snapshot(seq); got != want {
+		t.Errorf("no-cloning state differs\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestParallelKCFAFallback checks the scheduler's fallback when the
+// numbering carries no precomputed condensation (k-CFA numberings).
+func TestParallelKCFAFallback(t *testing.T) {
+	src := parallelPrograms["mutual"]
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	prog := ir.Lower(info, f)
+	g := callgraph.Build(prog, "main", nil)
+	n := contexts.NewKCFA(g, 2, 1<<12)
+	if n.DAG != nil {
+		// The point of this test is the nil-DAG path; if KCFA grows a
+		// DAG later, exercise the nil path explicitly.
+		n.DAG = nil
+	}
+	seq := Analyze(n, testConfig)
+	cfg := testConfig
+	cfg.Workers = 4
+	par := Analyze(n, cfg)
+	if got, want := snapshot(par), snapshot(seq); got != want {
+		t.Errorf("kcfa state differs\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestParallelEntryParams covers the open-program seeding, which runs
+// before the dispatch and must be visible to the parallel rounds.
+func TestParallelEntryParams(t *testing.T) {
+	src := `
+extern void *malloc(unsigned long n);
+void api(int **out, int *in) { *out = in; }
+int main(void) { return 0; }`
+	f, errs := cminor.Parse("test.c", src)
+	if len(errs) != 0 {
+		t.Fatalf("parse: %v", errs)
+	}
+	info := cminor.Check(f)
+	if len(info.Errors) != 0 {
+		t.Fatalf("check: %v", info.Errors)
+	}
+	prog := ir.Lower(info, f)
+	g := callgraph.Build(prog, "", nil) // all functions are roots
+	n := contexts.Number(g, 1<<16)
+	cfg := testConfig
+	cfg.EntryParams = true
+	seq := Analyze(n, cfg)
+	cfg.Workers = 4
+	par := Analyze(n, cfg)
+	if got, want := snapshot(par), snapshot(seq); got != want {
+		t.Errorf("entry-params state differs\n--- sequential ---\n%s--- parallel ---\n%s", want, got)
+	}
+}
+
+// TestParallelMaxRounds pins the cutoff contract: the parallel solver
+// honors MaxRounds and reports Converged = false on a cutoff.
+func TestParallelMaxRounds(t *testing.T) {
+	cfg := testConfig
+	cfg.Workers = 4
+	cfg.MaxRounds = 1
+	r := analyzeCfg(t, parallelPrograms["chain"], cfg)
+	if r.Converged {
+		t.Fatalf("converged in one round; need a deeper program for the cutoff test")
+	}
+	if r.Rounds != 1 {
+		t.Errorf("Rounds = %d, want 1", r.Rounds)
+	}
+}

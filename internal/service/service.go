@@ -67,6 +67,14 @@ type Config struct {
 	// Kernel sizing never changes results, so it does not enter cache
 	// keys.
 	BDD bdd.Config
+	// SolverWorkers is the default per-request solve parallelism
+	// applied to requests that do not set solver_workers themselves.
+	// The default (0) keeps requests sequential: the service already
+	// parallelizes across requests via Workers, so intra-request
+	// sharding only pays off when the daemon is serving few, large
+	// requests. Reports are identical for every worker count, so this
+	// does not enter cache keys.
+	SolverWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -246,8 +254,12 @@ func (s *Service) serve(ctx context.Context, opts core.Options, sources map[stri
 
 func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string, delta *deltaReq) (*Result, error) {
 	opts = opts.Normalize()
-	if opts.BDD == (bdd.Config{}) {
-		opts.BDD = s.cfg.BDD
+	if opts.Solver.BDD == (bdd.Config{}) {
+		opts.Solver.BDD = s.cfg.BDD
+		opts.BDD = opts.Solver.BDD
+	}
+	if opts.Solver.Workers == 0 {
+		opts.Solver.Workers = s.cfg.SolverWorkers
 	}
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -326,6 +338,10 @@ func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[st
 	s.wg.Add(1)
 	s.mu.Unlock()
 
+	if opts.Solver.Workers > 1 {
+		s.stats.parallelSolves.Add(1)
+		s.stats.solverWorkersUsed.Add(uint64(opts.Solver.Workers))
+	}
 	res, err := s.run(ctx, key, opts, sources, base, delta)
 	if err == nil {
 		res.Delta = dinfo

@@ -107,6 +107,12 @@ type Stats struct {
 	// artifacts were reused versus re-parsed.
 	FrontendFilesReused uint64 `json:"frontend_files_reused"`
 	FrontendFilesRerun  uint64 `json:"frontend_files_rerun"`
+	// ParallelSolves counts pipeline runs that executed with intra-
+	// request solve parallelism (effective solver workers > 1), and
+	// SolverWorkersUsed sums the worker counts those runs used — their
+	// ratio is the mean shard width. Sequential runs touch neither.
+	ParallelSolves    uint64 `json:"parallel_solves"`
+	SolverWorkersUsed uint64 `json:"solver_workers_used"`
 	// QueueWaits counts requests that had to queue; QueueWait is their
 	// cumulative wait, MaxQueueWait the single longest.
 	QueueWaits   uint64        `json:"queue_waits"`
@@ -126,6 +132,7 @@ type collector struct {
 	requests, hits, coalesced, misses, overloads, errs atomic.Uint64
 	deltaRequests, snapshotHits, snapshotGone          atomic.Uint64
 	frontendReused, frontendRerun                      atomic.Uint64
+	parallelSolves, solverWorkersUsed                  atomic.Uint64
 	inflight, queued                                   atomic.Int64
 	queueWaits                                         atomic.Uint64
 	queueWaitNS, maxQueueWaitNS                        atomic.Int64
@@ -215,6 +222,8 @@ func (c *collector) snapshot() Stats {
 		SnapshotGone:        c.snapshotGone.Load(),
 		FrontendFilesReused: c.frontendReused.Load(),
 		FrontendFilesRerun:  c.frontendRerun.Load(),
+		ParallelSolves:      c.parallelSolves.Load(),
+		SolverWorkersUsed:   c.solverWorkersUsed.Load(),
 	}
 	s.Histograms = make(map[string]HistogramSnapshot)
 	if hs := c.analyzeHist.snapshot(); hs.Count > 0 {

@@ -70,6 +70,14 @@ type RequestOptions struct {
 	// results, so these do not affect the cache key.
 	BDDNodeSize   int `json:"bdd_node_size,omitempty"`
 	BDDCacheRatio int `json:"bdd_cache_ratio,omitempty"`
+	// SolverWorkers shards the solve inside this request across a
+	// worker pool (0 = service default, 1 = sequential). Reports are
+	// identical for every worker count, so this does not affect the
+	// cache key.
+	SolverWorkers int `json:"solver_workers,omitempty"`
+	// SolverMaxRounds bounds fixpoint rounds (0 = unlimited). A nonzero
+	// bound can change results and is part of the cache key.
+	SolverMaxRounds int `json:"solver_max_rounds,omitempty"`
 }
 
 // ToOptions converts the wire form to core Options, rejecting unknown
@@ -83,7 +91,11 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		Entries:          ro.Entries,
 		DefUseRefinement: ro.Refine,
 		ExtraAllocFns:    ro.ExtraAllocFns,
-		BDD:              bdd.Config{NodeSize: ro.BDDNodeSize, CacheRatio: ro.BDDCacheRatio},
+		Solver: core.SolverOptions{
+			Workers:   ro.SolverWorkers,
+			MaxRounds: ro.SolverMaxRounds,
+			BDD:       bdd.Config{NodeSize: ro.BDDNodeSize, CacheRatio: ro.BDDCacheRatio},
+		},
 	}
 	switch ro.API {
 	case "", "both":
@@ -97,9 +109,9 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 	}
 	switch ro.Backend {
 	case "", "explicit":
-		opts.Backend = core.ExplicitBackend
+		opts.Solver.Backend = core.ExplicitBackend
 	case "bdd":
-		opts.Backend = core.BDDBackend
+		opts.Solver.Backend = core.BDDBackend
 	default:
 		return core.Options{}, core.Errf(core.ErrConfig, "", "options: unknown backend %q (want explicit or bdd)", ro.Backend)
 	}

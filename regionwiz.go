@@ -45,6 +45,10 @@ import (
 // explicit backend).
 type Options = core.Options
 
+// SolverOptions groups the solve-strategy knobs (Options.Solver):
+// worker count, fixpoint round bound, backend, and BDD kernel sizing.
+type SolverOptions = core.SolverOptions
+
 // Backend selects the relation engine for the inconsistency
 // computation.
 type Backend = core.Backend
