@@ -9,6 +9,7 @@
 //	regionbench -json out.json [-jobs N]
 //	regionbench -edit-loop N [-json out.json]
 //	regionbench -parallel-bench [-json out.json]
+//	regionbench -kernel-bench [-benchtime Nx] [-json out.json]
 //	regionbench ... [-backend explicit|bdd] [-solver-workers N]
 //	regionbench ... [-bdd-node-size N] [-bdd-cache-ratio N]
 //
@@ -59,8 +60,13 @@ func main() {
 	backend := flag.String("backend", "explicit", "pair-computation engine: explicit or bdd")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	bddGC := flag.Bool("bdd-gc", false, "enable BDD kernel mark-and-sweep GC at solver safe points (results-neutral)")
+	bddGCThreshold := flag.Int("bdd-gc-threshold", 0, "minimum live nodes before pressure triggers a collection (0 = kernel default)")
+	bddReorder := flag.Bool("bdd-reorder", false, "enable sifting-based BDD variable reordering between strata (results-neutral)")
 	solverWorkers := flag.Int("solver-workers", 0, "per-analysis solve parallelism: workers for the sharded front end and SCC-scheduled pointer solve (0 or 1 = sequential; reports are identical for every worker count)")
 	parallelBench := flag.Bool("parallel-bench", false, "measure single-workload scaling across solver worker counts on both backends (with -json, writes schema regionbench/parallel/v1)")
+	kernelBench := flag.Bool("kernel-bench", false, "measure BDD kernel lifecycle (GC/reorder) memory and wall trajectory on the heaviest workload (with -json, writes schema regionbench/kernel/v1)")
+	benchtime := flag.String("benchtime", "3x", "timed repetitions per -kernel-bench configuration, go-test style (e.g. 1x)")
 	editLoop := flag.Int("edit-loop", 0, "steady-state incremental mode: split the largest workload into files, then re-analyze N single-file edits against the previous snapshot (with -json, writes schema regionbench/incremental/v1)")
 	oracleMode := flag.Bool("oracle", false, "run the differential soundness/parity oracle sweep instead of benchmarks")
 	oracleSeeds := flag.Int("seeds", 100, "number of oracle sweep seeds (with -oracle)")
@@ -77,7 +83,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "regionbench: unknown -backend %q (want explicit or bdd)\n", *backend)
 		os.Exit(2)
 	}
-	benchOpts.Solver.BDD = bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio}
+	benchOpts.Solver.BDD = bdd.Config{
+		NodeSize:    *bddNodeSize,
+		CacheRatio:  *bddCacheRatio,
+		GC:          *bddGC,
+		GCThreshold: *bddGCThreshold,
+		Reorder:     *bddReorder,
+	}
 	benchOpts.Solver.Workers = *solverWorkers
 
 	if *oracleMode {
@@ -106,6 +118,19 @@ func main() {
 
 	if *parallelBench {
 		if err := runParallelBench(*jsonPath, *seed, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *kernelBench {
+		rounds, err := parseBenchtime(*benchtime)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runKernelBench(*jsonPath, *seed, rounds, pkgs); err != nil {
 			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
 			os.Exit(1)
 		}

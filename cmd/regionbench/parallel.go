@@ -36,8 +36,13 @@ type parallelDoc struct {
 	// numbers. Measured speedups are bounded by it: on a host with
 	// fewer than 4 CPUs, speedup_4w cannot reflect the schedule's
 	// potential — read the model block instead.
-	HostCPUs int               `json:"host_cpus"`
-	Backends []parallelBackend `json:"backends"`
+	HostCPUs int `json:"host_cpus"`
+	// Underprovisioned is true when the host has fewer CPUs than the
+	// widest measured worker count: the measured speedups are then
+	// scheduling artifacts, not the schedule's potential — trust the
+	// model block, not speedup_4w.
+	Underprovisioned bool              `json:"underprovisioned,omitempty"`
+	Backends         []parallelBackend `json:"backends"`
 	// Model is the hardware-independent scaling projection from
 	// work/span measured on a serial instrumented run.
 	Model *parallelModel `json:"model,omitempty"`
@@ -152,6 +157,19 @@ func runParallelBench(path string, seed int64, pkgs []*workloads.Package) error 
 		Files:    len(sources),
 		Rounds:   parallelBenchRounds,
 		HostCPUs: runtime.NumCPU(),
+	}
+	maxWorkers := 0
+	for _, w := range parallelBenchWorkers {
+		if w > maxWorkers {
+			maxWorkers = w
+		}
+	}
+	if doc.HostCPUs < maxWorkers {
+		doc.Underprovisioned = true
+		fmt.Fprintf(os.Stderr,
+			"regionbench: warning: host has %d CPUs but -parallel-bench measures up to %d workers; "+
+				"measured speedups are underprovisioned — read the model block instead\n",
+			doc.HostCPUs, maxWorkers)
 	}
 	// Measure the model's work/span components first, while the process
 	// heap is still small — after the timed sweep the garbage collector

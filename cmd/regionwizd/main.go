@@ -53,6 +53,9 @@
 //	                      runs (0 = kernel default, 8192)
 //	-bdd-cache-ratio N    BDD node-table slots per op-cache slot
 //	                      (0 = kernel default, 1)
+//	-bdd-gc               enable BDD kernel mark-and-sweep GC
+//	-bdd-gc-threshold N   minimum live nodes before a collection runs
+//	-bdd-reorder          enable sifting-based BDD variable reordering
 //	-solver-workers N     default per-request solve parallelism for
 //	                      requests that do not set solver_workers
 //	                      (0 or 1 = sequential; reports are identical
@@ -94,6 +97,9 @@ func run() int {
 	requestTimeout := flag.Duration("request-timeout", 2*time.Minute, "per-request deadline including queue wait (0 = none)")
 	bddNodeSize := flag.Int("bdd-node-size", 0, "initial BDD node-table capacity for bdd-backend runs (0 = kernel default)")
 	bddCacheRatio := flag.Int("bdd-cache-ratio", 0, "BDD node-table slots per op-cache slot (0 = kernel default)")
+	bddGC := flag.Bool("bdd-gc", false, "enable BDD kernel mark-and-sweep GC for bdd-backend runs")
+	bddGCThreshold := flag.Int("bdd-gc-threshold", 0, "minimum live BDD nodes before a pressured collection runs (0 = kernel default)")
+	bddReorder := flag.Bool("bdd-reorder", false, "enable sifting-based BDD variable reordering between datalog strata")
 	solverWorkers := flag.Int("solver-workers", 0, "default per-request solve parallelism for requests that do not set solver_workers (0 or 1 = sequential)")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, or error")
@@ -113,7 +119,13 @@ func run() int {
 		CacheEntries:    *cacheEntries,
 		SnapshotEntries: *snapshotEntries,
 		RequestTimeout:  *requestTimeout,
-		BDD:             bdd.Config{NodeSize: *bddNodeSize, CacheRatio: *bddCacheRatio},
+		BDD: bdd.Config{
+			NodeSize:    *bddNodeSize,
+			CacheRatio:  *bddCacheRatio,
+			GC:          *bddGC,
+			GCThreshold: *bddGCThreshold,
+			Reorder:     *bddReorder,
+		},
 		SolverWorkers:   *solverWorkers,
 	})
 	server := &http.Server{

@@ -24,6 +24,21 @@ type Config struct {
 	// lossy (collisions overwrite) and never grow. 0 means
 	// DefaultCacheRatio.
 	CacheRatio int
+	// GC enables mark-and-sweep collection of unreferenced nodes
+	// (BuDDy's bdd_gbc). Table growth raises a pressure flag; clients
+	// collect at safe points via MaybeCollect once every live node is
+	// reachable from a Ref-pinned root. Off by default: collection is
+	// only sound for clients that declare their roots.
+	GC bool
+	// GCThreshold is the minimum live-node count below which a
+	// pressured collection is skipped (sweeping a tiny table buys
+	// nothing). 0 means DefaultGCThreshold. Ignored unless GC is set.
+	GCThreshold int
+	// Reorder enables sifting-based dynamic variable reordering at
+	// client-declared safe points (the datalog layer runs it between
+	// strata). Like GC it requires every live node to be pinned, and it
+	// implies a collection first. Off by default.
+	Reorder bool
 }
 
 // Default kernel sizing: an 8K-node table with equal-sized caches
@@ -31,6 +46,9 @@ type Config struct {
 const (
 	DefaultNodeSize   = 1 << 13
 	DefaultCacheRatio = 1
+	// DefaultGCThreshold keeps collections away from small tables,
+	// where a sweep costs more than the nodes it could free.
+	DefaultGCThreshold = 1 << 12
 
 	minNodeSize  = 1 << 10
 	minCacheSize = 1 << 8
@@ -48,6 +66,9 @@ func (c Config) normalized() Config {
 	c.NodeSize = ceilPow2(c.NodeSize)
 	if c.CacheRatio <= 0 {
 		c.CacheRatio = DefaultCacheRatio
+	}
+	if c.GCThreshold <= 0 {
+		c.GCThreshold = DefaultGCThreshold
 	}
 	return c
 }

@@ -1,0 +1,138 @@
+package bdd
+
+import "time"
+
+// Mark-and-sweep collection in BuDDy's bdd_gbc style, adapted to the
+// intrusive table in table.go. The kernel cannot see which Nodes a
+// client still holds in Go locals, so collection is cooperative:
+//
+//   - Clients pin the roots they need across a collection with
+//     Ref/Deref (counted, so independent owners compose).
+//   - Collect may only run at a client-declared safe point: a moment
+//     when every node the client will ever look at again is reachable
+//     from a pinned root. Running it mid-computation frees the
+//     intermediate results the computation still holds.
+//   - The kernel signals *when* collecting is worthwhile: table growth
+//     raises a pressure flag, and MaybeCollect at the next safe point
+//     answers it.
+//
+// The sweep rebuilds the hash chains exactly as grow does, pushes dead
+// slots onto the freelist for reuse by mk, and bumps every op-cache
+// generation — cache entries may name swept nodes, and a freed index
+// will be re-issued with a different meaning. Live node indices never
+// move, so pinned Nodes and client data structures survive unchanged.
+
+// Ref pins n as a garbage-collection root and returns n for chaining.
+// Pins are counted: each Ref must be balanced by one Deref. Terminals
+// are always live and never need pinning.
+func (m *Manager) Ref(n Node) Node {
+	if n == False || n == True {
+		return n
+	}
+	if m.refs == nil {
+		m.refs = make(map[Node]int32)
+	}
+	m.refs[n]++
+	return n
+}
+
+// Deref releases one pin on n. It panics on an unpinned node — a
+// double release is a lifecycle bug that would otherwise surface as a
+// distant use-after-sweep.
+func (m *Manager) Deref(n Node) {
+	if n == False || n == True {
+		return
+	}
+	c, ok := m.refs[n]
+	if !ok {
+		panic("bdd: Deref of node with no outstanding Ref")
+	}
+	if c == 1 {
+		delete(m.refs, n)
+	} else {
+		m.refs[n] = c - 1
+	}
+}
+
+// GCPressure reports whether a collection is worth running: GC is
+// enabled, the table has grown (or a forced request is pending) since
+// the last sweep, and the table is past the configured threshold.
+func (m *Manager) GCPressure() bool {
+	return m.cfg.GC && m.gcPressure && int(m.free-m.freeNodes) >= m.cfg.GCThreshold
+}
+
+// MaybeCollect runs Collect if the kernel is under pressure (see
+// GCPressure). Clients call it at safe points; it reports whether a
+// collection ran.
+func (m *Manager) MaybeCollect() bool {
+	if !m.GCPressure() {
+		return false
+	}
+	m.Collect()
+	return true
+}
+
+// Collect runs one mark-and-sweep pass immediately and returns the
+// number of nodes freed. The caller must be at a safe point: every
+// node it will use afterwards must be reachable from a Ref-pinned
+// root. All operation caches are cleared (their entries may name swept
+// slots).
+func (m *Manager) Collect() int {
+	start := time.Now()
+	marked := make([]bool, m.free)
+	for n := range m.refs {
+		m.mark(marked, n)
+	}
+	freed := m.sweep(marked)
+	m.clearCaches()
+	m.collections++
+	m.nodesFreed += uint64(freed)
+	m.sweepWall += time.Since(start)
+	m.gcPressure = false
+	if m.OnEvent != nil {
+		m.OnEvent("gc", m.NumNodes(), len(m.nodes))
+	}
+	return freed
+}
+
+func (m *Manager) mark(marked []bool, n Node) {
+	if n < 2 || marked[n] {
+		return
+	}
+	marked[n] = true
+	nd := m.nodes[n]
+	m.mark(marked, nd.low)
+	m.mark(marked, nd.high)
+}
+
+// sweep rebuilds every hash chain from the marked set and chains the
+// rest into the freelist. Like grow, it only rewires hash/next links
+// for surviving nodes; a freed slot keeps its hash field (it heads
+// bucket i's chain) but its record becomes a freelist link.
+func (m *Manager) sweep(marked []bool) int {
+	for i := range m.nodes {
+		m.nodes[i].hash = 0
+		m.nodes[i].next = 0
+	}
+	m.freelist = 0
+	m.freeNodes = 0
+	freed := 0
+	for i := m.free - 1; i >= 2; i-- {
+		n := &m.nodes[i]
+		if marked[i] {
+			b := &m.nodes[hash3(n.level, n.low, n.high)&m.mask]
+			n.next = b.hash
+			b.hash = i
+			continue
+		}
+		if n.level != freeLevel {
+			freed++
+		}
+		n.level = freeLevel
+		n.low = m.freelist
+		n.high = 0
+		m.freelist = Node(i)
+		m.freeNodes++
+	}
+	return freed
+}

@@ -1,0 +1,327 @@
+package bdd
+
+import "sort"
+
+// Sifting-based dynamic variable reordering (Rudell's algorithm, as in
+// BuDDy's bdd_reorder WIN2ITE/SIFT family). A variable is moved through
+// the order by repeated adjacent-level swaps, the live node count is
+// tracked at every position, and the variable settles where the count
+// was smallest. Swaps rewrite nodes *in place*: a node's index always
+// denotes the same boolean function before and after, so pinned Nodes
+// and every client data structure survive a reorder unchanged — only
+// the internal shape (and the variable↔level permutations) move.
+//
+// Reorder has the same safe-point contract as Collect, and stricter
+// consequences: it first collects (level sizes must measure live nodes
+// only), so any node not reachable from a Ref-pinned root is freed.
+
+const (
+	// siftMaxVars bounds how many variables one pass sifts (largest
+	// levels first); a full pass is quadratic in the variable count.
+	siftMaxVars = 64
+	// siftMaxGrowthNum/Den abort a sift direction once the live count
+	// exceeds 120% of the best seen for this variable.
+	siftMaxGrowthNum = 6
+	siftMaxGrowthDen = 5
+)
+
+// reorderState carries the bookkeeping that exists only while a
+// sifting pass runs: per-node reference counts (so swaps can free
+// nodes that lose their last parent), per-level node lists, and the
+// live-count objective.
+type reorderState struct {
+	m     *Manager
+	ref   []int32 // parents + pins per slot; 0 ⇒ dead, freed eagerly
+	stamp []int32 // visit stamps to drop stale level-list entries
+	cur   int32
+	// levels[l] lists node indices at level l. Entries go stale when a
+	// swap frees or relabels a node; take filters them lazily.
+	levels [][]int32
+	live   int // live internal nodes — the sifting objective
+	swaps  int
+}
+
+// Reorder runs one sifting pass over the variable order and returns
+// the number of adjacent-level swaps performed. The caller must be at
+// a safe point with every needed node pinned (see Collect); garbage is
+// collected first. VarMaps whose relative order the new permutation
+// breaks must be rebuilt by the client.
+func (m *Manager) Reorder() int {
+	if m.numVars < 2 {
+		return 0
+	}
+	m.Collect()
+	rs := &reorderState{
+		m:      m,
+		ref:    make([]int32, m.free),
+		stamp:  make([]int32, m.free),
+		levels: make([][]int32, m.numVars),
+	}
+	for i := int32(2); i < m.free; i++ {
+		nd := &m.nodes[i]
+		if nd.level == freeLevel {
+			continue
+		}
+		rs.live++
+		rs.levels[nd.level] = append(rs.levels[nd.level], i)
+		rs.incRef(nd.low)
+		rs.incRef(nd.high)
+	}
+	for n, c := range m.refs {
+		rs.ref[n] += c
+	}
+	// Sift the owners of the largest levels first — that is where
+	// moving a variable can save the most.
+	type cand struct{ v, size int }
+	cands := make([]cand, 0, m.numVars)
+	for l := 0; l < m.numVars; l++ {
+		if s := len(rs.levels[l]); s > 0 {
+			cands = append(cands, cand{int(m.level2var[l]), s})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].size != cands[j].size {
+			return cands[i].size > cands[j].size
+		}
+		return cands[i].v < cands[j].v
+	})
+	if len(cands) > siftMaxVars {
+		cands = cands[:siftMaxVars]
+	}
+	for _, c := range cands {
+		rs.sift(c.v)
+	}
+	m.reorders++
+	m.reorderSwaps += uint64(rs.swaps)
+	m.orderSeq++
+	m.replVm = nil
+	m.clearCaches()
+	if m.OnEvent != nil {
+		m.OnEvent("reorder", m.NumNodes(), len(m.nodes))
+	}
+	return rs.swaps
+}
+
+// sift moves variable v to the closer end of the order first, then all
+// the way to the other end, then back to the position where the live
+// count was smallest.
+func (rs *reorderState) sift(v int) {
+	m := rs.m
+	start := int(m.var2level[v])
+	best := rs.live
+	bestPos := start
+	limit := rs.live*siftMaxGrowthNum/siftMaxGrowthDen + 16
+	down := func() {
+		for int(m.var2level[v]) < m.numVars-1 {
+			rs.swapLevels(int(m.var2level[v]))
+			if rs.live < best {
+				best, bestPos = rs.live, int(m.var2level[v])
+			}
+			if rs.live > limit {
+				return
+			}
+		}
+	}
+	up := func() {
+		for int(m.var2level[v]) > 0 {
+			rs.swapLevels(int(m.var2level[v]) - 1)
+			if rs.live < best {
+				best, bestPos = rs.live, int(m.var2level[v])
+			}
+			if rs.live > limit {
+				return
+			}
+		}
+	}
+	if m.numVars-1-start <= start {
+		down()
+		up()
+	} else {
+		up()
+		down()
+	}
+	for int(m.var2level[v]) < bestPos {
+		rs.swapLevels(int(m.var2level[v]))
+	}
+	for int(m.var2level[v]) > bestPos {
+		rs.swapLevels(int(m.var2level[v]) - 1)
+	}
+}
+
+// take returns the current occupants of level l, dropping entries that
+// a previous swap freed or relabeled (and deduplicating reused slots).
+func (rs *reorderState) take(l int) []int32 {
+	m := rs.m
+	rs.cur++
+	out := rs.levels[l][:0]
+	for _, i := range rs.levels[l] {
+		if m.nodes[i].level != int32(l) || rs.stamp[i] == rs.cur {
+			continue
+		}
+		rs.stamp[i] = rs.cur
+		out = append(out, i)
+	}
+	rs.levels[l] = out
+	return out
+}
+
+func (rs *reorderState) ensure(i Node) {
+	for int(i) >= len(rs.ref) {
+		rs.ref = append(rs.ref, 0)
+		rs.stamp = append(rs.stamp, 0)
+	}
+}
+
+func (rs *reorderState) incRef(i Node) {
+	if i < 2 {
+		return
+	}
+	rs.ensure(i)
+	rs.ref[i]++
+}
+
+// decRef drops one parent reference; a node that loses its last
+// reference is unhashed, freed onto the freelist, and its children
+// released recursively.
+func (rs *reorderState) decRef(i Node) {
+	if i < 2 {
+		return
+	}
+	rs.ref[i]--
+	if rs.ref[i] > 0 {
+		return
+	}
+	m := rs.m
+	low, high := m.nodes[i].low, m.nodes[i].high
+	m.unhash(Node(i))
+	n := &m.nodes[i]
+	n.level = freeLevel
+	n.low = m.freelist
+	n.high = 0
+	m.freelist = i
+	m.freeNodes++
+	rs.live--
+	rs.decRef(low)
+	rs.decRef(high)
+}
+
+// mkSwap is mk for the swap's rebuild phase: same hash-consing, but it
+// maintains the reorder refcounts, never grows the table (capacity is
+// reserved up front — growth rehashes by content and would re-chain
+// nodes the swap has deliberately unhashed), and records fresh nodes
+// in created. The caller owns one parent reference on the result.
+func (rs *reorderState) mkSwap(level int32, low, high Node, created *[]int32) Node {
+	m := rs.m
+	if low == high {
+		return low
+	}
+	h := hash3(level, low, high)
+	for i := m.nodes[h&m.mask].hash; i != 0; i = m.nodes[i].next {
+		n := &m.nodes[i]
+		if n.level == level && n.low == low && n.high == high {
+			return Node(i)
+		}
+	}
+	if m.freelist == 0 && int(m.free) == len(m.nodes) {
+		panic("bdd: reorder swap exceeded reserved capacity")
+	}
+	i := m.allocNode()
+	rs.ensure(Node(i))
+	n := &m.nodes[i]
+	n.level, n.low, n.high = level, low, high
+	b := &m.nodes[h&m.mask]
+	n.next = b.hash
+	b.hash = i
+	rs.incRef(low)
+	rs.incRef(high)
+	rs.live++
+	if lv := m.free - m.freeNodes; lv > m.peakNodes {
+		m.peakNodes = lv
+	}
+	*created = append(*created, i)
+	return Node(i)
+}
+
+// swapLevels exchanges the variables at positions u and u+1.
+//
+// Writing xu for the upper variable and xw for the lower one, a node
+// f = xu ? f1 : f0 with cofactors f_ab (a the xu value, b the xw
+// value) becomes f = xw ? (xu ? f11 : f01) : (xu ? f10 : f00). Nodes
+// at u that do not test xw just sink to level u+1 unchanged; nodes at
+// u+1 rise to level u unchanged (their children never test xu); nodes
+// at u that test both are rewritten in place so their indices — and
+// therefore every external handle — stay valid.
+func (rs *reorderState) swapLevels(u int) {
+	m := rs.m
+	w := u + 1
+	vu, vw := m.level2var[u], m.level2var[w]
+	m.level2var[u], m.level2var[w] = vw, vu
+	m.var2level[vu], m.var2level[vw] = int32(w), int32(u)
+	rs.swaps++
+	upper := rs.take(u)
+	lower := rs.take(w)
+	if len(upper) == 0 {
+		for _, i := range lower {
+			m.unhash(Node(i))
+			m.nodes[i].level = int32(u)
+			m.rehash(Node(i))
+		}
+		rs.levels[u], rs.levels[w] = rs.levels[w], rs.levels[u]
+		return
+	}
+	// Reserve room for the worst case (two fresh nodes per upper node)
+	// before touching any chain, so mkSwap never grows mid-swap.
+	for len(m.nodes)-int(m.free)+int(m.freeNodes) < 2*len(upper) {
+		m.grow()
+	}
+	// Phase 1: the lower variable's nodes rise to level u unchanged.
+	for _, i := range lower {
+		m.unhash(Node(i))
+		m.nodes[i].level = int32(u)
+		m.rehash(Node(i))
+	}
+	// Phase 2: classify upper nodes. Children that (after phase 1) sit
+	// at level u are exactly the old xw nodes.
+	var dep, indep []int32
+	for _, i := range upper {
+		nd := &m.nodes[i]
+		if m.nodes[nd.low].level == int32(u) || m.nodes[nd.high].level == int32(u) {
+			m.unhash(Node(i))
+			dep = append(dep, i)
+		} else {
+			m.unhash(Node(i))
+			nd.level = int32(w)
+			m.rehash(Node(i))
+			indep = append(indep, i)
+		}
+	}
+	// Phase 3: rebuild the dependent nodes in place.
+	var created []int32
+	for _, i := range dep {
+		f0, f1 := m.nodes[i].low, m.nodes[i].high
+		f00, f01 := f0, f0
+		if m.nodes[f0].level == int32(u) {
+			f00, f01 = m.nodes[f0].low, m.nodes[f0].high
+		}
+		f10, f11 := f1, f1
+		if m.nodes[f1].level == int32(u) {
+			f10, f11 = m.nodes[f1].low, m.nodes[f1].high
+		}
+		g0 := rs.mkSwap(int32(w), f00, f10, &created)
+		rs.incRef(g0)
+		g1 := rs.mkSwap(int32(w), f01, f11, &created)
+		rs.incRef(g1)
+		m.nodes[i].low, m.nodes[i].high = g0, g1
+		m.rehash(Node(i))
+		rs.decRef(f0)
+		rs.decRef(f1)
+	}
+	newU := dep
+	for _, i := range lower {
+		if m.nodes[i].level == int32(u) {
+			newU = append(newU, i)
+		}
+	}
+	rs.levels[u] = newU
+	rs.levels[w] = append(indep, created...)
+}

@@ -61,6 +61,10 @@ func (a *Analysis) computeObjectPairsBDD(ctx context.Context) []ObjectPair {
 	a.loadRegionRels(rr)
 	a.loadObjectRels(or, offIdx)
 	a.solveRegionStrata(ctx, p, rr)
+	// Stratum boundary: all live state is back in relations, so this is
+	// a reorder/GC safe point before the (largest) verification join.
+	p.ReorderIfEnabled()
+	p.CollectIfPressured()
 	a.solveObjectStratum(ctx, p, rr.regionPair, or)
 
 	// Expose the engine's final footprint and kernel counters to the
@@ -253,6 +257,10 @@ func (a *Analysis) objectPairsBDDSharded(ctx context.Context, offIdx map[int64]u
 		or.regionPair.Add(t...)
 		return true
 	})
+	// Same stratum-boundary safe point as the single-manager path, on
+	// the manager that runs the verification join.
+	pB.ReorderIfEnabled()
+	pB.CollectIfPressured()
 	a.solveObjectStratum(ctx, pB, or.regionPair, or)
 
 	// The footprint/counter outputs sum both managers. (They are
@@ -267,6 +275,12 @@ func (a *Analysis) objectPairsBDDSharded(ctx context.Context, offIdx map[int64]u
 	a.bddStats.CacheMisses += sB.CacheMisses
 	a.bddStats.UniqueCollisions += sB.UniqueCollisions
 	a.bddStats.Grows += sB.Grows
+	a.bddStats.PeakNodes += sB.PeakNodes
+	a.bddStats.Collections += sB.Collections
+	a.bddStats.NodesFreed += sB.NodesFreed
+	a.bddStats.SweepWallNS += sB.SweepWallNS
+	a.bddStats.Reorders += sB.Reorders
+	a.bddStats.ReorderSwaps += sB.ReorderSwaps
 
 	return a.collectObjectPairs(or, offs)
 }

@@ -28,6 +28,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/bdd"
 	"repro/internal/cminor"
 	"repro/internal/core"
 	"repro/internal/interp"
@@ -126,16 +127,24 @@ type AnalysisConfig struct {
 // DefaultConfigs returns the configuration matrix: the sound default
 // (full call-path cloning, heap cloning on), the same analysis solved
 // on four workers (must reproduce the default's reports byte-for-byte
-// — parallelism is results-neutral by contract), the
-// context-insensitive ablation (ContextCap 1 — documented unsound:
-// merging loses the distinctions TestContextSensitivityMatters pins),
-// and 2-CFA numbering (bounded call strings merge deep paths the same
-// way).
+// — parallelism is results-neutral by contract), the BDD kernel under
+// minimum-table GC plus sifting reorder (lifecycle management is
+// results-neutral too: collections and reorders must not perturb
+// reports), the context-insensitive ablation (ContextCap 1 —
+// documented unsound: merging loses the distinctions
+// TestContextSensitivityMatters pins), and 2-CFA numbering (bounded
+// call strings merge deep paths the same way).
 func DefaultConfigs() []AnalysisConfig {
 	return []AnalysisConfig{
 		{Name: "default", Opts: core.Options{}, Sound: true},
 		{Name: "workers4",
 			Opts:          core.Options{Solver: core.SolverOptions{Workers: 4}},
+			Sound:         true,
+			SameReportsAs: "default"},
+		{Name: "gcreorder",
+			Opts: core.Options{Solver: core.SolverOptions{
+				BDD: bdd.Config{NodeSize: 1, GC: true, GCThreshold: 1, Reorder: true},
+			}},
 			Sound:         true,
 			SameReportsAs: "default"},
 		{Name: "cap1", Opts: core.Options{ContextCap: 1}},

@@ -280,6 +280,19 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 			fmt.Fprintf(&sb, "regionwizd_phase_alloc_bytes_total{phase=%q} %d\n", name, st.Phases[name].AllocBytes)
 		}
 	}
+	if len(st.BDDOutputs) > 0 {
+		keys := make([]string, 0, len(st.BDDOutputs))
+		for k := range st.BDDOutputs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			// bdd_cache_hits -> regionwizd_bdd_cache_hits_total etc.;
+			// cumulative over every bdd-backend pipeline run.
+			counter("regionwizd_"+k+"_total", uint64(st.BDDOutputs[k]),
+				"Cumulative BDD kernel counter from the pairs phase.")
+		}
+	}
 	writeHistogram(&sb, "regionwizd_analyze_duration_seconds",
 		"End-to-end Analyze latency, all outcomes.", "", st.Histograms["analyze"])
 	writeHistogram(&sb, "regionwizd_queue_wait_seconds",

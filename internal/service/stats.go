@@ -120,6 +120,10 @@ type Stats struct {
 	MaxQueueWait time.Duration `json:"max_queue_wait_ns"`
 	// Phases aggregates per-phase cost over every pipeline run.
 	Phases map[string]PhaseTotal `json:"phases,omitempty"`
+	// BDDOutputs accumulates, over every pipeline run, the bdd_*
+	// counters the pairs phase reports (node/tuple footprint, op-cache
+	// traffic, and — when enabled — GC and reorder activity).
+	BDDOutputs map[string]int64 `json:"bdd_outputs,omitempty"`
 	// Histograms holds the latency distributions: "analyze" (end-to-end
 	// Analyze latency), "queue_wait" (admission queue wait), and
 	// "phase:<name>" (per-phase pipeline duration). Only histograms
@@ -143,12 +147,14 @@ type collector struct {
 	mu         sync.Mutex
 	phases     map[string]*PhaseTotal
 	phaseHists map[string]*histogram
+	bddOutputs map[string]int64
 }
 
 func newCollector() *collector {
 	return &collector{
 		phases:     make(map[string]*PhaseTotal),
 		phaseHists: make(map[string]*histogram),
+		bddOutputs: make(map[string]int64),
 	}
 }
 
@@ -186,6 +192,14 @@ func (c *collector) phaseObserver(next ...pipeline.Observer[*core.Analysis]) pip
 			pt.Runs++
 			pt.Wall += m.Wall
 			pt.AllocBytes += m.AllocBytes
+			// BDD kernel counters ride in the pairs phase's outputs;
+			// accumulate them service-wide so /v1/metrics and /v1/stats
+			// show the fleet totals.
+			for k, v := range m.Outputs {
+				if len(k) > 4 && k[:4] == "bdd_" {
+					c.bddOutputs[k] += v
+				}
+			}
 			ph := c.phaseHists[name]
 			if ph == nil {
 				ph = &histogram{}
@@ -237,6 +251,12 @@ func (c *collector) snapshot() Stats {
 		s.Phases = make(map[string]PhaseTotal, len(c.phases))
 		for name, pt := range c.phases {
 			s.Phases[name] = *pt
+		}
+	}
+	if len(c.bddOutputs) > 0 {
+		s.BDDOutputs = make(map[string]int64, len(c.bddOutputs))
+		for k, v := range c.bddOutputs {
+			s.BDDOutputs[k] = v
 		}
 	}
 	for name, h := range c.phaseHists {

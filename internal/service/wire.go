@@ -70,6 +70,13 @@ type RequestOptions struct {
 	// results, so these do not affect the cache key.
 	BDDNodeSize   int `json:"bdd_node_size,omitempty"`
 	BDDCacheRatio int `json:"bdd_cache_ratio,omitempty"`
+	// BDDGC / BDDGCThreshold / BDDReorder control the kernel's
+	// mark-and-sweep collection and sifting-based variable reordering.
+	// Both are report-invariant (asserted by the oracle), so like the
+	// sizing knobs they stay out of the cache key.
+	BDDGC          bool `json:"bdd_gc,omitempty"`
+	BDDGCThreshold int  `json:"bdd_gc_threshold,omitempty"`
+	BDDReorder     bool `json:"bdd_reorder,omitempty"`
 	// SolverWorkers shards the solve inside this request across a
 	// worker pool (0 = service default, 1 = sequential). Reports are
 	// identical for every worker count, so this does not affect the
@@ -94,7 +101,13 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		Solver: core.SolverOptions{
 			Workers:   ro.SolverWorkers,
 			MaxRounds: ro.SolverMaxRounds,
-			BDD:       bdd.Config{NodeSize: ro.BDDNodeSize, CacheRatio: ro.BDDCacheRatio},
+			BDD: bdd.Config{
+				NodeSize:    ro.BDDNodeSize,
+				CacheRatio:  ro.BDDCacheRatio,
+				GC:          ro.BDDGC,
+				GCThreshold: ro.BDDGCThreshold,
+				Reorder:     ro.BDDReorder,
+			},
 		},
 	}
 	switch ro.API {
