@@ -1,0 +1,250 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// explainDoc is the -explain-bench output (schema
+// regionbench/explain/v1): every corpus workload analyzed three ways —
+// explicit with provenance recording, explicit without (the replay
+// path), and the BDD backend (also replay) — with the explanation
+// latency of each path and the two properties the provenance subsystem
+// must never trade away checked before any number is written: the
+// report is byte-identical with recording on or off, and all three
+// paths produce byte-identical explanation documents whose trees
+// bottom out in base facts carrying source positions.
+type explainDoc struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	// Rounds is how many timed repetitions each explain path ran; the
+	// reported time is the median.
+	Rounds    int               `json:"rounds"`
+	Workloads []explainWorkload `json:"workloads"`
+	// Corpus-wide tree totals: every warning explained, every tree
+	// grounded.
+	WarningsTotal   int `json:"warnings_total"`
+	BaseLeavesTotal int `json:"base_leaves_total"`
+}
+
+type explainWorkload struct {
+	Package  string `json:"package"`
+	Exe      string `json:"exe"`
+	Warnings int    `json:"warnings"`
+	// Tree shape over the workload's explanations.
+	TreeNodes  int `json:"tree_nodes"`
+	BaseLeaves int `json:"base_leaves"`
+	MaxDepth   int `json:"max_depth"`
+	// AnalyzeMS is the plain explicit pipeline wall;
+	// AnalyzeRecordedMS the same pipeline with Provenance on. Their
+	// ratio is the recorder's end-to-end overhead.
+	AnalyzeMS         float64 `json:"analyze_ms"`
+	AnalyzeRecordedMS float64 `json:"analyze_recorded_ms"`
+	RecordOverhead    float64 `json:"record_overhead,omitempty"`
+	// Explain walls (Explainer construction plus ExplainAll, median of
+	// Rounds): recorded answers from witnesses captured during the
+	// solve; the replay paths re-derive the region strata on demand.
+	RecordedMS  float64 `json:"recorded_ms"`
+	ReplayMS    float64 `json:"replay_ms"`
+	BDDReplayMS float64 `json:"bdd_replay_ms"`
+}
+
+const explainBenchRounds = 3
+
+// runExplainBench analyzes every corpus executable on all three
+// provenance paths, verifies report and explanation parity plus tree
+// groundedness, and writes the latency document.
+func runExplainBench(path string, seed int64, pkgs []*workloads.Package) error {
+	ctx := context.Background()
+	doc := explainDoc{
+		Schema: "regionbench/explain/v1",
+		Seed:   seed,
+		Rounds: explainBenchRounds,
+	}
+	for _, pkg := range pkgs {
+		for _, exe := range pkg.Exes {
+			wl, err := explainWorkloadRun(ctx, pkg, exe)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", pkg.Spec.Name, exe.Name, err)
+			}
+			doc.WarningsTotal += wl.Warnings
+			doc.BaseLeavesTotal += wl.BaseLeaves
+			doc.Workloads = append(doc.Workloads, *wl)
+		}
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	fmt.Printf("explain: %d workloads, %d warnings, %d base leaves, median of %d\n",
+		len(doc.Workloads), doc.WarningsTotal, doc.BaseLeavesTotal, doc.Rounds)
+	fmt.Printf("%-12s %-8s %4s %6s %6s  %10s %10s %10s\n",
+		"package", "exe", "warn", "nodes", "leaves", "recorded", "replay", "bdd-replay")
+	for _, wl := range doc.Workloads {
+		fmt.Printf("%-12s %-8s %4d %6d %6d  %8.2fms %8.2fms %8.2fms\n",
+			wl.Package, wl.Exe, wl.Warnings, wl.TreeNodes, wl.BaseLeaves,
+			wl.RecordedMS, wl.ReplayMS, wl.BDDReplayMS)
+	}
+	return nil
+}
+
+// explainWorkloadRun measures one executable: three analyses, three
+// timed explanation sweeps, and the parity/groundedness checks.
+func explainWorkloadRun(ctx context.Context, pkg *workloads.Package, exe workloads.Exe) (*explainWorkload, error) {
+	sources := pkg.SourcesFor(exe)
+	wl := &explainWorkload{Package: pkg.Spec.Name, Exe: exe.Name}
+
+	analyzeWith := func(backend core.Backend, provenance bool) (*core.Analysis, float64, error) {
+		opts := benchOpts
+		opts.Solver.Backend = backend
+		opts.Provenance = provenance
+		runtime.GC()
+		t0 := time.Now()
+		a, err := core.AnalyzeSourceContext(ctx, opts, sources)
+		return a, ms(time.Since(t0)), err
+	}
+	recorded, recordedMS, err := analyzeWith(core.ExplicitBackend, true)
+	if err != nil {
+		return nil, err
+	}
+	plain, plainMS, err := analyzeWith(core.ExplicitBackend, false)
+	if err != nil {
+		return nil, err
+	}
+	bddRun, _, err := analyzeWith(core.BDDBackend, false)
+	if err != nil {
+		return nil, err
+	}
+	wl.AnalyzeMS = plainMS
+	wl.AnalyzeRecordedMS = recordedMS
+	if plainMS > 0 {
+		wl.RecordOverhead = recordedMS / plainMS
+	}
+
+	// Provenance recording and the backend must never change the
+	// report: refuse to write numbers for a configuration that does.
+	baseline := stableReportJSON(plain.Report)
+	if rep := stableReportJSON(recorded.Report); rep != baseline {
+		return nil, fmt.Errorf("report changed with provenance recording on — refusing to write benchmark numbers")
+	}
+	if rep := stableReportJSON(bddRun.Report); rep != baseline {
+		return nil, fmt.Errorf("explicit and bdd reports differ — refusing to write benchmark numbers")
+	}
+	wl.Warnings = len(plain.Report.Warnings)
+
+	explainPath := func(a *core.Analysis, wantReplay bool) ([]byte, float64, error) {
+		var doc []byte
+		var runs []float64
+		for r := 0; r < explainBenchRounds; r++ {
+			runtime.GC()
+			t0 := time.Now()
+			ex, err := a.Explainer(ctx)
+			if err != nil {
+				return nil, 0, err
+			}
+			exps, err := ex.ExplainAll(ctx)
+			if err != nil {
+				return nil, 0, err
+			}
+			runs = append(runs, ms(time.Since(t0)))
+			if ex.Replayed != wantReplay {
+				return nil, 0, fmt.Errorf("explainer replayed=%v, want %v", ex.Replayed, wantReplay)
+			}
+			if doc, err = core.MarshalExplanations(exps); err != nil {
+				return nil, 0, err
+			}
+			if r == 0 {
+				shape, err := checkExplanations(exps, len(a.Report.Warnings))
+				if err != nil {
+					return nil, 0, err
+				}
+				if wl.TreeNodes == 0 {
+					wl.TreeNodes, wl.BaseLeaves, wl.MaxDepth = shape.nodes, shape.leaves, shape.depth
+				}
+			}
+		}
+		return doc, medianMS(runs), nil
+	}
+	recDoc, recMS, err := explainPath(recorded, false)
+	if err != nil {
+		return nil, fmt.Errorf("recorded path: %w", err)
+	}
+	repDoc, repMS, err := explainPath(plain, true)
+	if err != nil {
+		return nil, fmt.Errorf("replay path: %w", err)
+	}
+	bddDoc, bddMS, err := explainPath(bddRun, true)
+	if err != nil {
+		return nil, fmt.Errorf("bdd replay path: %w", err)
+	}
+	wl.RecordedMS, wl.ReplayMS, wl.BDDReplayMS = recMS, repMS, bddMS
+
+	if !bytes.Equal(recDoc, repDoc) || !bytes.Equal(recDoc, bddDoc) {
+		return nil, fmt.Errorf("explanation documents differ across provenance paths — refusing to write benchmark numbers")
+	}
+	return wl, nil
+}
+
+// treeShape accumulates over a workload's explanation trees.
+type treeShape struct {
+	nodes  int
+	leaves int
+	depth  int
+}
+
+// checkExplanations asserts every warning has an explanation and every
+// tree is grounded: each leaf is a base fact carrying a source
+// position.
+func checkExplanations(exps []*core.Explanation, warnings int) (*treeShape, error) {
+	if len(exps) != warnings {
+		return nil, fmt.Errorf("%d explanations for %d warnings", len(exps), warnings)
+	}
+	shape := &treeShape{}
+	for _, e := range exps {
+		if e.Schema != core.ExplainSchemaV1 {
+			return nil, fmt.Errorf("warning %d: schema %q", e.Warning, e.Schema)
+		}
+		if e.Tree == nil {
+			return nil, fmt.Errorf("warning %d: no derivation tree", e.Warning)
+		}
+		if err := walkTree(e.Tree, 1, shape); err != nil {
+			return nil, fmt.Errorf("warning %d: %w", e.Warning, err)
+		}
+	}
+	return shape, nil
+}
+
+func walkTree(n *core.ExplainNode, depth int, shape *treeShape) error {
+	shape.nodes++
+	if depth > shape.depth {
+		shape.depth = depth
+	}
+	if len(n.Children) == 0 {
+		if n.Kind != "base" {
+			return fmt.Errorf("leaf %q has kind %q, not base", n.Fact, n.Kind)
+		}
+		if n.Pos == "" {
+			return fmt.Errorf("base leaf %q carries no source position", n.Fact)
+		}
+		shape.leaves++
+		return nil
+	}
+	for _, c := range n.Children {
+		if err := walkTree(c, depth+1, shape); err != nil {
+			return err
+		}
+	}
+	return nil
+}

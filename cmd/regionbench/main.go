@@ -10,6 +10,7 @@
 //	regionbench -edit-loop N [-json out.json]
 //	regionbench -parallel-bench [-json out.json]
 //	regionbench -kernel-bench [-benchtime Nx] [-json out.json]
+//	regionbench -explain-bench [-json out.json]
 //	regionbench ... [-backend explicit|bdd] [-solver-workers N]
 //	regionbench ... [-bdd-node-size N] [-bdd-cache-ratio N]
 //
@@ -28,6 +29,15 @@
 // workload at workers 1/2/4 on both backends, with a report-parity
 // check, written as schema regionbench/parallel/v1 (see
 // BENCH_parallel.json).
+//
+// The -explain-bench mode measures the why-provenance subsystem over
+// the whole corpus: explanation latency for the recorded path
+// (explicit backend with Provenance on) against the two replay paths
+// (explicit without recording, and the BDD backend), refusing to write
+// numbers unless reports are byte-identical with recording on or off,
+// all three paths emit byte-identical explanation documents, and every
+// tree bottoms out in base facts with source positions (schema
+// regionbench/explain/v1).
 package main
 
 import (
@@ -65,6 +75,7 @@ func main() {
 	bddReorder := flag.Bool("bdd-reorder", false, "enable sifting-based BDD variable reordering between strata (results-neutral)")
 	solverWorkers := flag.Int("solver-workers", 0, "per-analysis solve parallelism: workers for the sharded front end and SCC-scheduled pointer solve (0 or 1 = sequential; reports are identical for every worker count)")
 	parallelBench := flag.Bool("parallel-bench", false, "measure single-workload scaling across solver worker counts on both backends (with -json, writes schema regionbench/parallel/v1)")
+	explainBench := flag.Bool("explain-bench", false, "measure why-provenance explanation latency (recorded vs replay paths) over the corpus with report/explanation parity checks (with -json, writes schema regionbench/explain/v1)")
 	kernelBench := flag.Bool("kernel-bench", false, "measure BDD kernel lifecycle (GC/reorder) memory and wall trajectory on the heaviest workload (with -json, writes schema regionbench/kernel/v1)")
 	benchtime := flag.String("benchtime", "3x", "timed repetitions per -kernel-bench configuration, go-test style (e.g. 1x)")
 	editLoop := flag.Int("edit-loop", 0, "steady-state incremental mode: split the largest workload into files, then re-analyze N single-file edits against the previous snapshot (with -json, writes schema regionbench/incremental/v1)")
@@ -118,6 +129,14 @@ func main() {
 
 	if *parallelBench {
 		if err := runParallelBench(*jsonPath, *seed, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *explainBench {
+		if err := runExplainBench(*jsonPath, *seed, pkgs); err != nil {
 			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -20,6 +20,13 @@
 //	-high-only         print only high-ranked warnings
 //	-stats             print the Figure 11 stats line only
 //	-json              print the report as JSON
+//	-explain id|all    print why-provenance for one warning (1-based id)
+//	                   or every warning: the derivation tree from the
+//	                   reported instruction pair back to base facts with
+//	                   source positions. With -json the trees follow the
+//	                   report as a second JSON document (schema
+//	                   "regionwiz/explain/v1"). Reports are byte-identical
+//	                   with or without -explain.
 //	-entries a,b,c     open-program analysis with the given roots
 //	-kcfa K            k-CFA call-string contexts instead of call paths
 //	-refine            enable the def-use (Figure 5(b)) refinement
@@ -56,6 +63,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -75,6 +83,7 @@ func run() int {
 	highOnly := flag.Bool("high-only", false, "print only high-ranked warnings")
 	statsOnly := flag.Bool("stats", false, "print stats only")
 	jsonOut := flag.Bool("json", false, "print the report as JSON")
+	explainSel := flag.String("explain", "", "explain warning derivations: a 1-based warning id or \"all\"")
 	entries := flag.String("entries", "", "comma-separated analysis roots for open-program (library) analysis")
 	kcfa := flag.Int("kcfa", 0, "use k-CFA call-string contexts of this depth instead of call-path cloning")
 	refine := flag.Bool("refine", false, "enable the def-use (Figure 5(b)) refinement")
@@ -106,6 +115,21 @@ func run() int {
 		HeapCloning:      regionwiz.Bool(!*noHeapCloning),
 		KCFA:             *kcfa,
 		DefUseRefinement: *refine,
+	}
+	explainWarning := 0
+	if *explainSel != "" {
+		if *explainSel != "all" {
+			n, err := strconv.Atoi(*explainSel)
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "regionwiz: -explain wants a 1-based warning id or \"all\", got %q\n", *explainSel)
+				return 2
+			}
+			explainWarning = n
+		}
+		// Record witnesses during the solve where the backend supports
+		// it (explicit); the BDD backend answers by replay. Either way
+		// the report bytes are unchanged.
+		opts.Provenance = true
 	}
 	opts.Solver.Workers = *solverWorkers
 	opts.Solver.BDD.NodeSize = *bddNodeSize
@@ -221,6 +245,12 @@ func run() int {
 		default:
 			fmt.Print(report)
 		}
+		if *explainSel != "" {
+			if err := printExplanations(ctx, res.Out, explainWarning, *jsonOut); err != nil {
+				fmt.Fprintf(os.Stderr, "regionwiz: %s: %v\n", sets[i].name, err)
+				code = 1
+			}
+		}
 		if *phaseStats {
 			printPhaseStats(report.Stats.Phases)
 		}
@@ -303,6 +333,46 @@ func fileSets(args []string) ([]fileSet, error) {
 		sets[looseAt] = fileSet{name: strings.Join(loose, " "), files: loose}
 	}
 	return sets, nil
+}
+
+// printExplanations renders -explain output for one analyzed set:
+// derivation trees from the warning's instruction pair back to base
+// facts with source positions. warning 0 means every warning; with
+// jsonOut the trees are emitted as the versioned explanation document
+// (schema "regionwiz/explain/v1") after the report JSON.
+func printExplanations(ctx context.Context, a *regionwiz.Analysis, warning int, jsonOut bool) error {
+	ex, err := a.Explainer(ctx)
+	if err != nil {
+		return err
+	}
+	var exps []*regionwiz.Explanation
+	if warning == 0 {
+		exps, err = ex.ExplainAll(ctx)
+	} else {
+		var e *regionwiz.Explanation
+		if e, err = ex.Explain(ctx, warning); err == nil {
+			exps = []*regionwiz.Explanation{e}
+		}
+	}
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		data, err := regionwiz.MarshalExplanations(exps)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	if len(exps) == 0 {
+		fmt.Println("regionwiz: no warnings to explain")
+		return nil
+	}
+	for _, e := range exps {
+		fmt.Print(e)
+	}
+	return nil
 }
 
 // printPhaseStats renders the pipeline cost table.

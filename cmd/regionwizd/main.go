@@ -29,16 +29,40 @@
 //	                   "delta" block. If the base snapshot was evicted the
 //	                   response is 409 with kind "snapshot_gone"; resend
 //	                   the full sources.
+//	GET  /v1/explain   ?key=<analyze response key>&warning=<1-based id|all>
+//	                   -> {"schema": "regionwiz/explain/v1", "key": "...",
+//	                       "warnings_total": N, "explanations": [...]}
+//	                   why-provenance: each explanation is the derivation
+//	                   tree from the warning's instruction pair back to
+//	                   base facts with source positions. Explanations are
+//	                   keyed off the result cache; an evicted key answers
+//	                   409 with kind "snapshot_gone" — re-run the analysis
+//	                   (the key is content-addressed and comes back
+//	                   identical) and retry. Results without recorded
+//	                   provenance (the bdd backend, or "provenance" unset
+//	                   on the analyze request) are answered by
+//	                   demand-driven replay ("replayed": true) with
+//	                   byte-identical trees.
 //	GET  /v1/healthz   liveness probe
 //	GET  /v1/metrics   Prometheus text exposition (counters, gauges, and
 //	                   latency histograms: regionwizd_analyze_duration_seconds,
 //	                   regionwizd_queue_wait_seconds,
-//	                   regionwizd_phase_duration_seconds{phase=...})
+//	                   regionwizd_phase_duration_seconds{phase=...},
+//	                   regionwizd_explain_duration_seconds, plus
+//	                   regionwizd_warnings_total,
+//	                   regionwizd_explain_requests_total,
+//	                   regionwizd_explain_replays_total, and the
+//	                   regionwizd_bdd_peak_nodes gauge — the largest
+//	                   single-request BDD node peak, never summed across
+//	                   requests)
 //	GET  /v1/stats     counters as JSON
 //
 // Logs are structured (log/slog, logfmt-style text): every request
 // gets a short random id carried through handler spans, and access
-// lines keep the method/path/status/wall fields.
+// lines keep the method/path/status/wall fields. 4xx/5xx responses
+// also log a "request failed" line and echo the id in the error body's
+// "request_id" field, so a failure response correlates directly with
+// its log lines.
 //
 // Flags:
 //
@@ -126,7 +150,7 @@ func run() int {
 			GCThreshold: *bddGCThreshold,
 			Reorder:     *bddReorder,
 		},
-		SolverWorkers:   *solverWorkers,
+		SolverWorkers: *solverWorkers,
 	})
 	server := &http.Server{
 		Addr:              *addr,

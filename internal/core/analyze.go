@@ -88,6 +88,14 @@ type Options struct {
 	// Solver groups how the analysis is solved: worker count, fixpoint
 	// budget, backend, and BDD sizing. See SolverOptions.
 	Solver SolverOptions
+	// Provenance opts into why-provenance recording: on an
+	// explicit-backend run the pairs phase additionally solves the
+	// region strata on a witness-recording tuple engine, so Explain
+	// answers come from recorded derivations instead of a replay.
+	// Recording never changes the pairs, the report, or any phase
+	// metric — reports are byte-identical with it on or off — so, like
+	// Observer and Workers, it is excluded from Fingerprint.
+	Provenance bool
 }
 
 // prepare normalizes and validates options at an Analyze* boundary.
@@ -142,6 +150,10 @@ type Analysis struct {
 	// snapshots the kernel's cache/table counters.
 	bddNodes, bddTuples int64
 	bddStats            bdd.ManagerStats
+	// prov holds the provenance recorder's solved region strata when
+	// Options.Provenance was set on an explicit-backend run (explain.go);
+	// nil otherwise, in which case Explainer replays on demand.
+	prov *provRecord
 
 	// Metrics is the per-phase cost breakdown of the run, including
 	// phases that ran before an error aborted the pipeline.

@@ -174,31 +174,18 @@ func (a *Analysis) solveRegionStrata(ctx context.Context, p *datalog.Program, rr
 	// evaluates recursive rules). Each stratum gets its own span so
 	// traces show which of the three fixpoints dominates.
 	sctx, s1 := trace.StartSpan(ctx, "pairs.stratum:leq")
-	p.SolveSemiNaive(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(rr.leq, "x", "x"), datalog.T(rr.region, "x")),
-		datalog.NewRule(datalog.T(rr.leq, "x", "y"), datalog.T(rr.parent, "x", "y")),
-		datalog.NewRule(datalog.T(rr.leq, "x", "z"), datalog.T(rr.leq, "x", "y"), datalog.T(rr.parent, "y", "z")),
-	}, 0)
+	p.SolveSemiNaive(sctx, regionLeqRules(rr), 0)
 	s1.End()
 	// Stratum 2: complement (safe, stratified negation).
 	sctx, s2 := trace.StartSpan(ctx, "pairs.stratum:regionPair")
-	p.Solve(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(rr.regionPair, "x", "y"),
-			datalog.T(rr.region, "x"), datalog.T(rr.region, "y"), datalog.N(rr.leq, "x", "y")),
-	}, 0)
+	p.Solve(sctx, regionPairRules(rr), 0)
 	s2.End()
 }
 
 // solveObjectStratum runs stratum 3, the verification join.
 func (a *Analysis) solveObjectStratum(ctx context.Context, p *datalog.Program, regionPair *datalog.Relation, or objectRels) {
 	sctx, s3 := trace.StartSpan(ctx, "pairs.stratum:objectPair")
-	p.Solve(sctx, []*datalog.Rule{
-		datalog.NewRule(datalog.T(or.objectPair, "o1", "n", "o2"),
-			datalog.T(regionPair, "x", "y"),
-			datalog.T(or.own, "x", "o1"),
-			datalog.T(or.own, "y", "o2"),
-			datalog.T(or.access, "o1", "n", "o2")),
-	}, 0)
+	p.Solve(sctx, []*datalog.Rule{objectPairRule(regionPair, or)}, 0)
 	s3.End()
 }
 

@@ -140,8 +140,11 @@ func sortedUnique(in []string) []string {
 // specs, context configuration, backend, refinements, extern models).
 // Observer is excluded: it watches a run but cannot alter it. BDD is
 // excluded for the same reason: kernel sizing changes time and memory,
-// never results. Together with per-file source digests this keys the
-// analysis service's result cache.
+// never results. Provenance is excluded too: witness recording feeds
+// Explain but never the report, so a provenance-on run may answer for
+// a cached provenance-off result and vice versa. Together with
+// per-file source digests this keys the analysis service's result
+// cache.
 func (o Options) Fingerprint() string {
 	o = o.Normalize()
 	h := sha256.New()

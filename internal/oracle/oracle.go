@@ -68,6 +68,11 @@ type Violation struct {
 	// Rule is the reason string of the matching allowlist entry.
 	Rule   string `json:"rule,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	// Explanation pre-triages soundness misses: the derivation tree
+	// (human rendering) of the reported warning nearest the missed
+	// pair's allocation sites, showing what the analysis did derive
+	// there — or a note that nothing was derived at all.
+	Explanation string `json:"explanation,omitempty"`
 }
 
 func (v Violation) String() string {
@@ -357,17 +362,19 @@ func (h *Harness) Check(c *Case) (*CaseResult, error) {
 		for _, ps := range exp.PairSites() {
 			static[posKey(ps.Src, ps.Dst)] = true
 		}
+		miss := &missExplainer{a: exp}
 		for _, d := range dynamic {
 			if static[posKey(d.Src, d.Dst)] {
 				continue
 			}
 			v := Violation{
-				Kind:   KindSoundness,
-				Config: cfg.Name,
-				Class:  d.Class,
-				Src:    d.Src.String(),
-				Dst:    d.Dst.String(),
-				Argc:   d.Argc,
+				Kind:        KindSoundness,
+				Config:      cfg.Name,
+				Class:       d.Class,
+				Src:         d.Src.String(),
+				Dst:         d.Dst.String(),
+				Argc:        d.Argc,
+				Explanation: miss.nearest(d.Src, d.Dst),
 			}
 			for _, rule := range h.Allow {
 				if rule.matches(v) {

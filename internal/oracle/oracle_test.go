@@ -135,6 +135,16 @@ func TestCap1LibMergeRegression(t *testing.T) {
 	if !cap1Miss.Allowed || cap1Miss.Rule == "" {
 		t.Fatalf("cap1 miss not explicitly allowlisted: %s", *cap1Miss)
 	}
+	// Misses arrive pre-triaged: the nearest reported warning's
+	// derivation tree rides along (or, for an empty report, a note
+	// saying nothing was derived).
+	if cap1Miss.Explanation == "" {
+		t.Fatal("cap1 soundness miss carries no explanation")
+	}
+	if !strings.Contains(cap1Miss.Explanation, "nearest warning") &&
+		!strings.Contains(cap1Miss.Explanation, "no warnings reported") {
+		t.Fatalf("cap1 miss explanation is neither a tree nor the empty-report note:\n%s", cap1Miss.Explanation)
+	}
 }
 
 // TestHarnessDetectsBrokenAnalysis is the harness's own oracle: wire
@@ -164,6 +174,9 @@ func TestHarnessDetectsBrokenAnalysis(t *testing.T) {
 	v := bad[0]
 	if v.Kind != KindSoundness || v.Class != string(workloads.SiblingLeak) {
 		t.Fatalf("expected a sibling-leak soundness violation, got %s", v)
+	}
+	if !strings.Contains(v.Explanation, "no warnings reported") {
+		t.Fatalf("empty-report miss should note nothing was derived, got: %q", v.Explanation)
 	}
 
 	minimized := Minimize(c.Sources, h.FailurePredicate(v), 0)

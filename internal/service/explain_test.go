@@ -1,0 +1,230 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/bdd"
+	"repro/internal/core"
+)
+
+// TestServiceExplain covers both answer paths — recorded provenance
+// (explicit backend with Provenance on) and demand-driven replay (the
+// default) — plus the snapshot-gone and out-of-range failure modes,
+// and the explain counters.
+func TestServiceExplain(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ctx := context.Background()
+
+	recorded, err := s.Analyze(ctx, core.Options{Provenance: true}, sourcesFor(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := s.Analyze(ctx, core.Options{}, sourcesFor(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := s.Explain(ctx, recorded.Key, 0)
+	if err != nil {
+		t.Fatalf("explain recorded: %v", err)
+	}
+	if rec.Replayed {
+		t.Error("provenance-on result answered by replay")
+	}
+	rep, err := s.Explain(ctx, replayed.Key, 0)
+	if err != nil {
+		t.Fatalf("explain replayed: %v", err)
+	}
+	if !rep.Replayed {
+		t.Error("provenance-off result did not replay")
+	}
+	for name, res := range map[string]*ExplainResult{"recorded": rec, "replayed": rep} {
+		if res.Warnings != 1 || len(res.Explanations) != 1 {
+			t.Fatalf("%s: %d warnings, %d explanations, want 1/1", name, res.Warnings, len(res.Explanations))
+		}
+		if res.Explanations[0].Schema != core.ExplainSchemaV1 {
+			t.Errorf("%s: schema %q", name, res.Explanations[0].Schema)
+		}
+	}
+	// Single-warning selection returns the same tree as the full set.
+	one, err := s.Explain(ctx, recorded.Key, 1)
+	if err != nil {
+		t.Fatalf("explain warning 1: %v", err)
+	}
+	if len(one.Explanations) != 1 || one.Explanations[0].Warning != 1 {
+		t.Fatalf("warning selection returned %d explanations", len(one.Explanations))
+	}
+
+	if _, err := s.Explain(ctx, recorded.Key, 99); err == nil {
+		t.Error("out-of-range warning succeeded")
+	}
+	var aerr *core.Error
+	if _, err := s.Explain(ctx, "deadbeef", 0); !errors.As(err, &aerr) || aerr.Kind != core.ErrSnapshotGone {
+		t.Errorf("unknown key error = %v, want snapshot-gone kind", err)
+	}
+
+	st := s.Stats()
+	if st.Warnings != 2 {
+		t.Errorf("warnings_total = %d, want 2 (one per pipeline run)", st.Warnings)
+	}
+	// 4 served queries (the out-of-range one counts; the unknown key
+	// never reached the explainer), exactly 1 of them a replay (the
+	// provenance-off key).
+	if st.ExplainRequests != 4 {
+		t.Errorf("explain_requests = %d, want 4", st.ExplainRequests)
+	}
+	if st.ExplainReplays != 1 {
+		t.Errorf("explain_replays = %d, want 1", st.ExplainReplays)
+	}
+	if st.Histograms["explain"].Count == 0 {
+		t.Error("explain histogram has no observations")
+	}
+}
+
+// TestBDDPeakNodesGauge pins the satellite fix: bdd_peak_nodes is
+// exported as a per-request maximum gauge, not summed across requests
+// like the true counters.
+func TestBDDPeakNodesGauge(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	opts := core.Options{}
+	opts.Solver.Backend = core.BDDBackend
+	// Peak-node tracking only surfaces in phase outputs when GC or a
+	// reorder ran; enable both so even this small workload reports it.
+	opts.Solver.BDD = bdd.Config{NodeSize: 1, GC: true, GCThreshold: 1, Reorder: true}
+
+	var peak int64
+	for i := 0; i < 3; i++ {
+		res, err := s.Analyze(ctx, opts, sourcesFor(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p := pairsOutputs(t, res.ReportJSON)["bdd_peak_nodes"]; p > peak {
+			peak = p
+		}
+	}
+	if peak == 0 {
+		t.Fatal("BDD runs reported no peak")
+	}
+	st := s.Stats()
+	if st.BDDPeakNodes != peak {
+		t.Errorf("BDDPeakNodes = %d, want per-request max %d (summing would give %d)",
+			st.BDDPeakNodes, peak, 3*peak)
+	}
+	if _, ok := st.BDDOutputs["bdd_peak_nodes"]; ok {
+		t.Error("bdd_peak_nodes still summed into BDDOutputs")
+	}
+	if st.BDDOutputs["bdd_nodes"] == 0 {
+		t.Error("true counters no longer accumulate")
+	}
+}
+
+// TestHTTPExplain is the endpoint round-trip: analyze, explain by key,
+// and the snapshot-gone conflict. It also checks the request id lands
+// in error bodies and the explain metrics reach /v1/metrics.
+func TestHTTPExplain(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	// The id middleware stands in for regionwizd's logging wrapper.
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		NewHandler(s).ServeHTTP(w, r.WithContext(WithRequestID(r.Context(), "req-42")))
+	})
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+
+	resp, data := postAnalyze(t, srv, analyzeBody(t, sourcesFor(0),
+		RequestOptions{Backend: "bdd", BDDNodeSize: 1, BDDGC: true, BDDGCThreshold: 1, BDDReorder: true}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze: %d %s", resp.StatusCode, data)
+	}
+	var ar AnalyzeResponse
+	if err := json.Unmarshal(data, &ar); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(url string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	resp, data = get(srv.URL + "/v1/explain?key=" + ar.Key + "&warning=all")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explain: %d %s", resp.StatusCode, data)
+	}
+	var er ExplainResponse
+	if err := json.Unmarshal(data, &er); err != nil {
+		t.Fatal(err)
+	}
+	if er.Schema != core.ExplainSchemaV1 || er.Key != ar.Key {
+		t.Errorf("schema/key = %q/%q", er.Schema, er.Key)
+	}
+	if !er.Replayed {
+		t.Error("BDD-backend explanation did not report replay")
+	}
+	if er.WarningsTotal != 1 || len(er.Explanations) != 1 {
+		t.Fatalf("warnings_total=%d explanations=%d, want 1/1", er.WarningsTotal, len(er.Explanations))
+	}
+	if er.Explanations[0].Tree == nil {
+		t.Fatal("explanation carries no tree")
+	}
+
+	// Unknown key: 409 snapshot_gone with the request id echoed.
+	resp, data = get(srv.URL + "/v1/explain?key=" + strings.Repeat("0", 64))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("unknown key: %d %s", resp.StatusCode, data)
+	}
+	var fail errorResponse
+	if err := json.Unmarshal(data, &fail); err != nil {
+		t.Fatal(err)
+	}
+	if fail.Error.Kind != "snapshot_gone" {
+		t.Errorf("kind = %q, want snapshot_gone", fail.Error.Kind)
+	}
+	if fail.Error.RequestID != "req-42" {
+		t.Errorf("request_id = %q, want req-42", fail.Error.RequestID)
+	}
+
+	// Bad selector and missing key are config errors.
+	if resp, _ = get(srv.URL + "/v1/explain?key=" + ar.Key + "&warning=zero"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad selector: %d", resp.StatusCode)
+	}
+	if resp, _ = get(srv.URL + "/v1/explain"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing key: %d", resp.StatusCode)
+	}
+
+	resp, data = get(srv.URL + "/v1/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(data)
+	for _, want := range []string{
+		"regionwizd_explain_requests_total 1",
+		"regionwizd_explain_replays_total 1",
+		"regionwizd_warnings_total 1",
+		"regionwizd_explain_duration_seconds_count 1",
+		"# TYPE regionwizd_bdd_peak_nodes gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+	if strings.Contains(text, "regionwizd_bdd_peak_nodes_total") {
+		t.Error("bdd_peak_nodes still exported as a summed counter")
+	}
+}

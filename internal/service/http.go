@@ -6,8 +6,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -76,11 +78,36 @@ type errorJSON struct {
 	Kind    string `json:"kind"`
 	Message string `json:"message"`
 	Pos     string `json:"pos,omitempty"`
+	// RequestID echoes the per-request id the daemon's access log
+	// carries, so a failure body correlates directly with its log
+	// lines. Absent when no logging middleware set an id.
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ExplainResponse is the GET /v1/explain success body.
+type ExplainResponse struct {
+	// Schema versions the explanation encoding; every tree in
+	// Explanations carries the same marker.
+	Schema string `json:"schema"`
+	// Key is the analysis result the explanations were derived from.
+	Key string `json:"key"`
+	// Replayed reports that provenance was re-derived on demand
+	// (BDD-backend or provenance-off results) rather than read from
+	// recorded witnesses; the explanation bytes are identical either
+	// way.
+	Replayed bool `json:"replayed,omitempty"`
+	// WarningsTotal is the report's full warning count, whatever
+	// subset was requested.
+	WarningsTotal int `json:"warnings_total"`
+	// Explanations holds the requested warnings' derivation trees in
+	// report order (schema "regionwiz/explain/v1").
+	Explanations []*core.Explanation `json:"explanations"`
 }
 
 // NewHandler exposes a Service over HTTP:
 //
 //	POST /v1/analyze  — run (or replay) an analysis
+//	GET  /v1/explain  — why-provenance trees for a cached result
 //	GET  /v1/healthz  — liveness
 //	GET  /v1/metrics  — counters in Prometheus text exposition format
 //	GET  /v1/stats    — counters as JSON
@@ -88,6 +115,9 @@ func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		handleAnalyze(s, w, r)
+	})
+	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) {
+		handleExplain(s, w, r)
 	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -104,7 +134,7 @@ func NewHandler(s *Service) http.Handler {
 func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
-		writeError(w, http.StatusMethodNotAllowed,
+		writeError(r.Context(), w, http.StatusMethodNotAllowed,
 			core.Errf(core.ErrConfig, "", "analyze wants POST, got %s", r.Method))
 		return
 	}
@@ -112,13 +142,13 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest,
+		writeError(r.Context(), w, http.StatusBadRequest,
 			core.Errf(core.ErrConfig, "", "bad request body: %v", err))
 		return
 	}
 	opts, err := req.Options.ToOptions()
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(r.Context(), w, statusFor(err), err)
 		return
 	}
 	ctx := r.Context()
@@ -136,7 +166,7 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	if req.Base != "" {
 		if len(req.Sources) > 0 {
 			root.End(trace.Bool("error", true))
-			writeError(w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+			writeError(ctx, w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
 				"a delta request (base set) must not also carry full sources"))
 			return
 		}
@@ -144,7 +174,7 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	} else {
 		if len(req.Changed) > 0 || len(req.Removed) > 0 {
 			root.End(trace.Bool("error", true))
-			writeError(w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+			writeError(ctx, w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
 				"changed/removed require a base snapshot key"))
 			return
 		}
@@ -152,7 +182,7 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	}
 	root.End(trace.Bool("error", err != nil))
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeError(ctx, w, statusFor(err), err)
 		return
 	}
 	if res.Cached {
@@ -184,6 +214,55 @@ func handleAnalyze(s *Service, w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleExplain serves GET /v1/explain?key=<result key>[&warning=N|all].
+// The key names a completed /v1/analyze response; warning selects one
+// 1-based report index or every warning ("all", the default). A key
+// that has been evicted from the result cache answers 409 with kind
+// "snapshot_gone": re-run the analysis (same sources, same options —
+// the key is content-addressed, so it comes back identical) and retry.
+func handleExplain(s *Service, w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(ctx, w, http.StatusMethodNotAllowed,
+			core.Errf(core.ErrConfig, "", "explain wants GET, got %s", r.Method))
+		return
+	}
+	q := r.URL.Query()
+	key := q.Get("key")
+	if key == "" {
+		writeError(ctx, w, http.StatusBadRequest,
+			core.Errf(core.ErrConfig, "", "explain wants ?key=<analyze response key>"))
+		return
+	}
+	warning := 0
+	if sel := q.Get("warning"); sel != "" && sel != "all" {
+		n, err := strconv.Atoi(sel)
+		if err != nil || n < 1 {
+			writeError(ctx, w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+				"explain: warning must be a 1-based index or \"all\", got %q", sel))
+			return
+		}
+		warning = n
+	}
+	res, err := s.Explain(ctx, key, warning)
+	if err != nil {
+		writeError(ctx, w, statusFor(err), err)
+		return
+	}
+	exps := res.Explanations
+	if exps == nil {
+		exps = []*core.Explanation{}
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Schema:        core.ExplainSchemaV1,
+		Key:           key,
+		Replayed:      res.Replayed,
+		WarningsTotal: res.Warnings,
+		Explanations:  exps,
+	})
+}
+
 // statusFor maps error kinds to HTTP statuses.
 func statusFor(err error) int {
 	var aerr *core.Error
@@ -204,7 +283,11 @@ func statusFor(err error) int {
 	}
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError renders a failure body. The context's request id (set by
+// the daemon's logging middleware) is echoed into the body and onto a
+// structured log line, so a 4xx/5xx response, its access-log entry,
+// and its error detail all correlate on one id.
+func writeError(ctx context.Context, w http.ResponseWriter, status int, err error) {
 	kind, pos := core.ErrInternal, ""
 	var aerr *core.Error
 	if errors.As(err, &aerr) {
@@ -213,10 +296,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	if status == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", "1")
 	}
+	id := RequestID(ctx)
+	level := slog.LevelWarn
+	if status >= 500 {
+		level = slog.LevelError
+	}
+	slog.Default().LogAttrs(ctx, level, "request failed",
+		slog.String("id", id),
+		slog.Int("status", status),
+		slog.String("kind", kind.String()),
+		slog.String("err", err.Error()))
 	writeJSON(w, status, errorResponse{Error: errorJSON{
-		Kind:    kind.String(),
-		Message: err.Error(),
-		Pos:     pos,
+		Kind:      kind.String(),
+		Message:   err.Error(),
+		Pos:       pos,
+		RequestID: id,
 	}})
 }
 
@@ -255,6 +349,9 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	counter("regionwizd_queue_waits_total", st.QueueWaits, "Requests that waited in the admission queue.")
 	counter("regionwizd_parallel_solves_total", st.ParallelSolves, "Pipeline runs with intra-request solve parallelism.")
 	counter("regionwizd_solver_workers_used_total", st.SolverWorkersUsed, "Sum of solver worker counts across parallel runs.")
+	counter("regionwizd_warnings_total", st.Warnings, "Warnings reported across every pipeline run.")
+	counter("regionwizd_explain_requests_total", st.ExplainRequests, "Provenance (explain) queries served.")
+	counter("regionwizd_explain_replays_total", st.ExplainReplays, "Explain queries answered by demand-driven replay.")
 	gauge("regionwizd_inflight", st.Inflight, "Pipeline runs executing now.")
 	gauge("regionwizd_queued", st.Queued, "Requests waiting for a worker slot.")
 	gauge("regionwizd_cache_entries", int64(st.CacheEntries), "Result cache population.")
@@ -288,15 +385,23 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 		sort.Strings(keys)
 		for _, k := range keys {
 			// bdd_cache_hits -> regionwizd_bdd_cache_hits_total etc.;
-			// cumulative over every bdd-backend pipeline run.
+			// cumulative over every bdd-backend pipeline run. The
+			// collector routes bdd_peak_nodes (a per-request gauge, not
+			// a counter) to BDDPeakNodes, so it never lands here.
 			counter("regionwizd_"+k+"_total", uint64(st.BDDOutputs[k]),
 				"Cumulative BDD kernel counter from the pairs phase.")
 		}
+	}
+	if st.BDDPeakNodes > 0 {
+		gauge("regionwizd_bdd_peak_nodes", st.BDDPeakNodes,
+			"Largest single-request BDD node peak observed.")
 	}
 	writeHistogram(&sb, "regionwizd_analyze_duration_seconds",
 		"End-to-end Analyze latency, all outcomes.", "", st.Histograms["analyze"])
 	writeHistogram(&sb, "regionwizd_queue_wait_seconds",
 		"Admission queue wait of queued requests.", "", st.Histograms["queue_wait"])
+	writeHistogram(&sb, "regionwizd_explain_duration_seconds",
+		"Explain (provenance) query latency.", "", st.Histograms["explain"])
 	hnames := make([]string, 0, len(st.Histograms))
 	for name := range st.Histograms {
 		if strings.HasPrefix(name, "phase:") {

@@ -451,7 +451,70 @@ func (s *Service) run(ctx context.Context, key string, opts core.Options, source
 	if err != nil {
 		return nil, core.WrapError(core.ErrInternal, err)
 	}
+	s.stats.warnings.Add(uint64(len(a.Report.Warnings)))
 	return &Result{Analysis: a, ReportJSON: data, Key: key, snap: snap}, nil
+}
+
+// ExplainResult is one served provenance query.
+type ExplainResult struct {
+	// Explanations holds the requested subset of the report's
+	// warnings, in report order.
+	Explanations []*core.Explanation
+	// Replayed reports that the region strata were re-derived on
+	// demand (BDD-backend or provenance-off results) rather than taken
+	// from recorded witnesses. The explanation bytes are identical
+	// either way.
+	Replayed bool
+	// Warnings is the underlying report's total warning count,
+	// whatever subset was explained.
+	Warnings int
+}
+
+// Explain answers a why-provenance query against a completed request,
+// named by its content-addressed key. warning is a 1-based report
+// index; 0 (or any non-positive value) explains every warning. The
+// explanation engine runs over the cached Result's analysis state: if
+// the key has been evicted — or never completed — Explain fails with
+// an ErrSnapshotGone-kind error (HTTP 409) and the client re-runs the
+// analysis first.
+func (s *Service) Explain(ctx context.Context, key string, warning int) (*ExplainResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed()
+	}
+	res, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, core.Errf(core.ErrSnapshotGone, "",
+			"result %.12s… is gone (evicted or never computed); re-run the analysis and retry", key)
+	}
+	t0 := time.Now()
+	defer func() { s.stats.explainHist.observe(time.Since(t0)) }()
+	s.stats.explainRequests.Add(1)
+	// The cached Analysis is shared and immutable; Explainer is
+	// read-only over it, so concurrent Explain calls on one key are
+	// safe.
+	ex, err := res.Analysis.Explainer(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if ex.Replayed {
+		s.stats.explainReplays.Add(1)
+	}
+	out := &ExplainResult{Replayed: ex.Replayed, Warnings: len(res.Analysis.Report.Warnings)}
+	if warning <= 0 {
+		out.Explanations, err = ex.ExplainAll(ctx)
+	} else {
+		var e *core.Explanation
+		if e, err = ex.Explain(ctx, warning); err == nil {
+			out.Explanations = []*core.Explanation{e}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Stats snapshots the service counters.

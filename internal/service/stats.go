@@ -122,8 +122,25 @@ type Stats struct {
 	Phases map[string]PhaseTotal `json:"phases,omitempty"`
 	// BDDOutputs accumulates, over every pipeline run, the bdd_*
 	// counters the pairs phase reports (node/tuple footprint, op-cache
-	// traffic, and — when enabled — GC and reorder activity).
+	// traffic, and — when enabled — GC and reorder activity). These are
+	// true counters, so summing across requests is meaningful;
+	// bdd_peak_nodes is not one of them — see BDDPeakNodes.
 	BDDOutputs map[string]int64 `json:"bdd_outputs,omitempty"`
+	// BDDPeakNodes is the largest single-request BDD node peak the
+	// service has seen — a high-water gauge, not a counter. (It used to
+	// ride in BDDOutputs and be summed across requests, which made the
+	// exported number meaningless; a per-request maximum is the only
+	// aggregation of a peak that says anything.)
+	BDDPeakNodes int64 `json:"bdd_peak_nodes,omitempty"`
+	// Warnings sums the warnings reported by every pipeline run the
+	// service executed (cache hits and coalesced waiters share their
+	// leader's run and do not re-count).
+	Warnings uint64 `json:"warnings_total"`
+	// ExplainRequests counts Explain calls served; ExplainReplays
+	// counts the subset answered by demand-driven replay (BDD-backend
+	// or provenance-off cached results) rather than recorded witnesses.
+	ExplainRequests uint64 `json:"explain_requests"`
+	ExplainReplays  uint64 `json:"explain_replays"`
 	// Histograms holds the latency distributions: "analyze" (end-to-end
 	// Analyze latency), "queue_wait" (admission queue wait), and
 	// "phase:<name>" (per-phase pipeline duration). Only histograms
@@ -137,17 +154,23 @@ type collector struct {
 	deltaRequests, snapshotHits, snapshotGone          atomic.Uint64
 	frontendReused, frontendRerun                      atomic.Uint64
 	parallelSolves, solverWorkersUsed                  atomic.Uint64
+	warnings                                           atomic.Uint64
+	explainRequests, explainReplays                    atomic.Uint64
 	inflight, queued                                   atomic.Int64
 	queueWaits                                         atomic.Uint64
 	queueWaitNS, maxQueueWaitNS                        atomic.Int64
 
 	analyzeHist histogram
 	queueHist   histogram
+	explainHist histogram
 
 	mu         sync.Mutex
 	phases     map[string]*PhaseTotal
 	phaseHists map[string]*histogram
 	bddOutputs map[string]int64
+	// bddPeakNodes is the high-water mark of per-request BDD peaks
+	// (guarded by mu; fed by phaseObserver).
+	bddPeakNodes int64
 }
 
 func newCollector() *collector {
@@ -194,11 +217,20 @@ func (c *collector) phaseObserver(next ...pipeline.Observer[*core.Analysis]) pip
 			pt.AllocBytes += m.AllocBytes
 			// BDD kernel counters ride in the pairs phase's outputs;
 			// accumulate them service-wide so /v1/metrics and /v1/stats
-			// show the fleet totals.
+			// show the fleet totals. bdd_peak_nodes is the exception: a
+			// peak is a per-request gauge, so summing it across requests
+			// produces a number with no meaning — track the maximum.
 			for k, v := range m.Outputs {
-				if len(k) > 4 && k[:4] == "bdd_" {
-					c.bddOutputs[k] += v
+				if len(k) <= 4 || k[:4] != "bdd_" {
+					continue
 				}
+				if k == "bdd_peak_nodes" {
+					if v > c.bddPeakNodes {
+						c.bddPeakNodes = v
+					}
+					continue
+				}
+				c.bddOutputs[k] += v
 			}
 			ph := c.phaseHists[name]
 			if ph == nil {
@@ -238,6 +270,9 @@ func (c *collector) snapshot() Stats {
 		FrontendFilesRerun:  c.frontendRerun.Load(),
 		ParallelSolves:      c.parallelSolves.Load(),
 		SolverWorkersUsed:   c.solverWorkersUsed.Load(),
+		Warnings:            c.warnings.Load(),
+		ExplainRequests:     c.explainRequests.Load(),
+		ExplainReplays:      c.explainReplays.Load(),
 	}
 	s.Histograms = make(map[string]HistogramSnapshot)
 	if hs := c.analyzeHist.snapshot(); hs.Count > 0 {
@@ -245,6 +280,9 @@ func (c *collector) snapshot() Stats {
 	}
 	if hs := c.queueHist.snapshot(); hs.Count > 0 {
 		s.Histograms["queue_wait"] = hs
+	}
+	if hs := c.explainHist.snapshot(); hs.Count > 0 {
+		s.Histograms["explain"] = hs
 	}
 	c.mu.Lock()
 	if len(c.phases) > 0 {
@@ -259,6 +297,7 @@ func (c *collector) snapshot() Stats {
 			s.BDDOutputs[k] = v
 		}
 	}
+	s.BDDPeakNodes = c.bddPeakNodes
 	for name, h := range c.phaseHists {
 		if hs := h.snapshot(); hs.Count > 0 {
 			s.Histograms["phase:"+name] = hs

@@ -85,6 +85,12 @@ type RequestOptions struct {
 	// SolverMaxRounds bounds fixpoint rounds (0 = unlimited). A nonzero
 	// bound can change results and is part of the cache key.
 	SolverMaxRounds int `json:"solver_max_rounds,omitempty"`
+	// Provenance records derivation witnesses during the solve
+	// (explicit backend only) so later /v1/explain queries answer from
+	// recorded provenance instead of demand-driven replay. It never
+	// changes the report and stays out of the cache key; explanations
+	// are byte-identical either way.
+	Provenance bool `json:"provenance,omitempty"`
 }
 
 // ToOptions converts the wire form to core Options, rejecting unknown
@@ -98,6 +104,7 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		Entries:          ro.Entries,
 		DefUseRefinement: ro.Refine,
 		ExtraAllocFns:    ro.ExtraAllocFns,
+		Provenance:       ro.Provenance,
 		Solver: core.SolverOptions{
 			Workers:   ro.SolverWorkers,
 			MaxRounds: ro.SolverMaxRounds,

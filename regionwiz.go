@@ -144,6 +144,37 @@ const (
 // Report.MarshalJSON and the regionwizd /v1/analyze endpoint.
 const ReportSchemaV1 = core.ReportSchemaV1
 
+// ExplainSchemaV1 identifies the explanation (why-provenance) JSON
+// encoding produced by MarshalExplanations, regionwiz -explain -json,
+// and the regionwizd /v1/explain endpoint.
+const ExplainSchemaV1 = core.ExplainSchemaV1
+
+// Explainer answers why-provenance queries against one finished
+// analysis: build one with Analysis.Explainer, then Explain a 1-based
+// warning id or ExplainAll. Runs that recorded provenance
+// (Options.Provenance on the explicit backend) answer from recorded
+// witnesses; every other run — BDD backend, provenance off — is
+// answered by demand-driven replay on the explicit engine, with
+// byte-identical explanations.
+type Explainer = core.Explainer
+
+// Explanation is one warning's derivation tree, from the reported
+// instruction pair back to base facts with source positions.
+type Explanation = core.Explanation
+
+// ExplainNode is one node of an explanation tree: a derived fact with
+// the rule that fired and its premises, a negated premise with the
+// facts justifying the absence, or a base-fact leaf with its source
+// position.
+type ExplainNode = core.ExplainNode
+
+// MarshalExplanations renders explanations as the versioned JSON
+// document (schema "regionwiz/explain/v1") the -explain -json flag and
+// /v1/explain emit.
+func MarshalExplanations(exps []*Explanation) ([]byte, error) {
+	return core.MarshalExplanations(exps)
+}
+
 // AnalyzeSource analyzes CMinor/C-subset sources given as
 // path -> content pairs and returns the full analysis state.
 func AnalyzeSource(opts Options, sources map[string]string) (*Analysis, error) {
