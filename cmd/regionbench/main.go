@@ -11,6 +11,7 @@
 //	regionbench -parallel-bench [-json out.json]
 //	regionbench -kernel-bench [-benchtime Nx] [-json out.json]
 //	regionbench -explain-bench [-json out.json]
+//	regionbench -query-bench [-json out.json]
 //	regionbench ... [-backend explicit|bdd] [-solver-workers N]
 //	regionbench ... [-bdd-node-size N] [-bdd-cache-ratio N]
 //
@@ -38,6 +39,13 @@
 // all three paths emit byte-identical explanation documents, and every
 // tree bottoms out in base facts with source positions (schema
 // regionbench/explain/v1).
+//
+// The -query-bench mode measures the demand-driven pair-query path
+// (see regionwiz -query): each corpus workload is analyzed in full,
+// then every reported warning's allocation-site pair is re-asked as a
+// demand query (with reversed pairs as negative probes). Numbers are
+// written only if every demand verdict matches the full report
+// (schema regionbench/query/v1, see BENCH_query.json).
 package main
 
 import (
@@ -76,6 +84,7 @@ func main() {
 	solverWorkers := flag.Int("solver-workers", 0, "per-analysis solve parallelism: workers for the sharded front end and SCC-scheduled pointer solve (0 or 1 = sequential; reports are identical for every worker count)")
 	parallelBench := flag.Bool("parallel-bench", false, "measure single-workload scaling across solver worker counts on both backends (with -json, writes schema regionbench/parallel/v1)")
 	explainBench := flag.Bool("explain-bench", false, "measure why-provenance explanation latency (recorded vs replay paths) over the corpus with report/explanation parity checks (with -json, writes schema regionbench/explain/v1)")
+	queryBench := flag.Bool("query-bench", false, "measure demand-driven pair-query latency against the full pipeline over the corpus, gating on verdict parity with the full report (with -json, writes schema regionbench/query/v1)")
 	kernelBench := flag.Bool("kernel-bench", false, "measure BDD kernel lifecycle (GC/reorder) memory and wall trajectory on the heaviest workload (with -json, writes schema regionbench/kernel/v1)")
 	benchtime := flag.String("benchtime", "3x", "timed repetitions per -kernel-bench configuration, go-test style (e.g. 1x)")
 	editLoop := flag.Int("edit-loop", 0, "steady-state incremental mode: split the largest workload into files, then re-analyze N single-file edits against the previous snapshot (with -json, writes schema regionbench/incremental/v1)")
@@ -137,6 +146,14 @@ func main() {
 
 	if *explainBench {
 		if err := runExplainBench(*jsonPath, *seed, pkgs); err != nil {
+			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *queryBench {
+		if err := runQueryBench(*jsonPath, *seed, pkgs); err != nil {
 			fmt.Fprintf(os.Stderr, "regionbench: %v\n", err)
 			os.Exit(1)
 		}

@@ -47,8 +47,8 @@ func printOracleSummary(sum *oracle.Summary) {
 	fmt.Printf("oracle: %d case(s) from seed %d (%d mutated, %d budget-aborted run(s))\n",
 		sum.Cases, sum.Start, sum.Mutated, sum.BudgetAborts)
 	fmt.Printf("dynamic ground truth: %d violation pair(s)\n", sum.DynamicViolations)
-	fmt.Printf("soundness: %d failed / %d allowlisted; parity: %d failed; determinism: %d failed\n",
-		sum.Soundness.Failed, sum.Soundness.Allowed, sum.Parity.Failed, sum.Determinism.Failed)
+	fmt.Printf("soundness: %d failed / %d allowlisted; parity: %d failed; determinism: %d failed; throttle: %d failed\n",
+		sum.Soundness.Failed, sum.Soundness.Allowed, sum.Parity.Failed, sum.Determinism.Failed, sum.Throttle.Failed)
 	kinds := make([]string, 0, len(sum.PatternPlanted))
 	for k := range sum.PatternPlanted {
 		kinds = append(kinds, k)

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// queryDoc is the -query-bench output (schema regionbench/query/v1):
+// every corpus workload analyzed once in full, then every reported
+// warning's site pair re-asked as a demand query (plus the reversed
+// pairs as negative probes), with the parity gate checked before any
+// number is written — a demand verdict that disagrees with the full
+// analysis refuses to produce benchmark numbers at all.
+type queryDoc struct {
+	Schema string `json:"schema"`
+	Seed   int64  `json:"seed"`
+	// MaxQueries bounds the positive and negative probes per
+	// executable (warnings beyond the bound are not queried — the
+	// bound is recorded here so the document says what was covered).
+	MaxQueries int             `json:"max_queries"`
+	Workloads  []queryWorkload `json:"workloads"`
+	// Corpus-wide probe totals: every probe's verdict matched the full
+	// report (the parity gate), QueriesTotal of them inconsistent.
+	ProbesTotal  int `json:"probes_total"`
+	QueriesTotal int `json:"inconsistent_total"`
+}
+
+type queryWorkload struct {
+	Package  string `json:"package"`
+	Exe      string `json:"exe"`
+	Warnings int    `json:"warnings"`
+	// Positive probes ask a reported warning's site pair (expect
+	// inconsistent); negative probes ask the reversed pair when it is
+	// not itself reported (expect consistent).
+	Positive int `json:"positive"`
+	Negative int `json:"negative"`
+	// AnalyzeMS is the full-pipeline wall; QueryMS the median
+	// demand-query wall (truncated pipeline plus the per-pair cone).
+	// Their ratio is what demand-driven answering buys.
+	AnalyzeMS float64 `json:"analyze_ms"`
+	QueryMS   float64 `json:"query_ms,omitempty"`
+	Speedup   float64 `json:"speedup,omitempty"`
+}
+
+// queryBenchMax bounds probes per executable so heavy workloads keep
+// the bench bounded; the bound is recorded in the document.
+const queryBenchMax = 8
+
+// runQueryBench analyzes every corpus executable, replays its warning
+// site pairs (and their reversals) as demand queries, gates on
+// verdict parity with the full report, and writes the latency
+// document.
+func runQueryBench(path string, seed int64, pkgs []*workloads.Package) error {
+	ctx := context.Background()
+	doc := queryDoc{
+		Schema:     "regionbench/query/v1",
+		Seed:       seed,
+		MaxQueries: queryBenchMax,
+	}
+	for _, pkg := range pkgs {
+		for _, exe := range pkg.Exes {
+			wl, err := queryWorkloadRun(ctx, pkg, exe)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", pkg.Spec.Name, exe.Name, err)
+			}
+			doc.ProbesTotal += wl.Positive + wl.Negative
+			doc.QueriesTotal += wl.Positive
+			doc.Workloads = append(doc.Workloads, *wl)
+		}
+	}
+	if doc.ProbesTotal == 0 {
+		return fmt.Errorf("corpus produced no queryable warning site pairs — refusing to write an empty benchmark")
+	}
+
+	if path != "" {
+		data, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, append(data, '\n'), 0o644)
+	}
+	fmt.Printf("query: %d workloads, %d probes (%d inconsistent), max %d per exe\n",
+		len(doc.Workloads), doc.ProbesTotal, doc.QueriesTotal, doc.MaxQueries)
+	fmt.Printf("%-12s %-8s %4s %4s %4s  %10s %10s %8s\n",
+		"package", "exe", "warn", "pos", "neg", "analyze", "query", "speedup")
+	for _, wl := range doc.Workloads {
+		fmt.Printf("%-12s %-8s %4d %4d %4d  %8.2fms %8.2fms %7.1fx\n",
+			wl.Package, wl.Exe, wl.Warnings, wl.Positive, wl.Negative,
+			wl.AnalyzeMS, wl.QueryMS, wl.Speedup)
+	}
+	return nil
+}
+
+// queryWorkloadRun measures one executable: the full analysis, then
+// up to queryBenchMax positive and negative demand probes, each
+// checked against the full report's verdict.
+func queryWorkloadRun(ctx context.Context, pkg *workloads.Package, exe workloads.Exe) (*queryWorkload, error) {
+	sources := pkg.SourcesFor(exe)
+	wl := &queryWorkload{Package: pkg.Spec.Name, Exe: exe.Name}
+
+	runtime.GC()
+	t0 := time.Now()
+	a, err := core.AnalyzeSourceContext(ctx, benchOpts, sources)
+	if err != nil {
+		return nil, err
+	}
+	wl.AnalyzeMS = ms(time.Since(t0))
+	wl.Warnings = len(a.Report.Warnings)
+
+	// The full report's site pairs are the ground truth the demand
+	// verdicts must reproduce.
+	reported := make(map[string]bool)
+	var pairs []core.PairSite
+	for _, ps := range a.PairSites() {
+		if !ps.Src.IsValid() || !ps.Dst.IsValid() {
+			continue
+		}
+		k := ps.Src.String() + "|" + ps.Dst.String()
+		if reported[k] {
+			continue
+		}
+		reported[k] = true
+		pairs = append(pairs, ps)
+	}
+
+	var walls []float64
+	probe := func(src, dst string, wantInconsistent bool) error {
+		runtime.GC()
+		q0 := time.Now()
+		ans, err := core.QueryPairSource(ctx, benchOpts, sources, src, dst)
+		if err != nil {
+			return err
+		}
+		walls = append(walls, ms(time.Since(q0)))
+		if ans.Inconsistent != wantInconsistent {
+			return fmt.Errorf("demand query %s -> %s returned inconsistent=%t but the full report says %t — refusing to write benchmark numbers",
+				src, dst, ans.Inconsistent, wantInconsistent)
+		}
+		return nil
+	}
+	for _, ps := range pairs {
+		if wl.Positive >= queryBenchMax {
+			break
+		}
+		if err := probe(ps.Src.String(), ps.Dst.String(), true); err != nil {
+			return nil, err
+		}
+		wl.Positive++
+	}
+	// Negative probes: the reversed pair, when not itself reported,
+	// must come back consistent.
+	for _, ps := range pairs {
+		if wl.Negative >= queryBenchMax {
+			break
+		}
+		if reported[ps.Dst.String()+"|"+ps.Src.String()] {
+			continue
+		}
+		if err := probe(ps.Dst.String(), ps.Src.String(), false); err != nil {
+			return nil, err
+		}
+		wl.Negative++
+	}
+	if len(walls) > 0 {
+		wl.QueryMS = medianMS(walls)
+		if wl.QueryMS > 0 {
+			wl.Speedup = wl.AnalyzeMS / wl.QueryMS
+		}
+	}
+	return wl, nil
+}

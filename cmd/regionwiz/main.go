@@ -29,6 +29,22 @@
 //	                   with or without -explain.
 //	-entries a,b,c     open-program analysis with the given roots
 //	-kcfa K            k-CFA call-string contexts instead of call paths
+//	-context-policy x  context numbering policy: "clone" (call-path
+//	                   cloning, the default), "kcfa" (with -kcfa K), or
+//	                   "origin" (allocation-site origin sensitivity —
+//	                   a documented precision throttle; the report is
+//	                   marked)
+//	-pts-limit N       cap each variable's points-to set at N; overflow
+//	                   collapses to a tainted ⊤ object (documented
+//	                   unsound throttle; the report is marked)
+//	-query src,dst     demand pair query instead of a full report: is
+//	                   an access from the allocation site src to dst
+//	                   ("file:line" or "file:line:col") inconsistent?
+//	                   Only the two sites' cone is checked — the global
+//	                   pair fixpoint never runs. With -json the answer
+//	                   is a "regionwiz/query/v1" document. The verdict
+//	                   agrees with the full analysis; exit code 3 means
+//	                   inconsistent.
 //	-refine            enable the def-use (Figure 5(b)) refinement
 //	-jobs N            analyze N file sets concurrently (default GOMAXPROCS)
 //	-solver-workers N  shard each analysis across N workers (0 or 1 =
@@ -86,6 +102,9 @@ func run() int {
 	explainSel := flag.String("explain", "", "explain warning derivations: a 1-based warning id or \"all\"")
 	entries := flag.String("entries", "", "comma-separated analysis roots for open-program (library) analysis")
 	kcfa := flag.Int("kcfa", 0, "use k-CFA call-string contexts of this depth instead of call-path cloning")
+	contextPolicy := flag.String("context-policy", "", "context numbering policy: clone, kcfa, or origin (default derived from -kcfa)")
+	ptsLimit := flag.Int("pts-limit", 0, "cap each variable's points-to set; overflow collapses to a tainted ⊤ object (0 = unlimited)")
+	querySel := flag.String("query", "", "demand pair query \"src,dst\" (allocation sites as file:line or file:line:col) instead of a full report")
 	refine := flag.Bool("refine", false, "enable the def-use (Figure 5(b)) refinement")
 	jobs := flag.Int("jobs", 0, "number of file sets analyzed concurrently (0 = GOMAXPROCS)")
 	solverWorkers := flag.Int("solver-workers", 0, "shard each analysis across this many workers (0 or 1 = sequential; reports are identical)")
@@ -114,8 +133,10 @@ func run() int {
 		ContextCap:       *contextCap,
 		HeapCloning:      regionwiz.Bool(!*noHeapCloning),
 		KCFA:             *kcfa,
+		ContextPolicy:    *contextPolicy,
 		DefUseRefinement: *refine,
 	}
+	opts.Solver.PtsLimit = *ptsLimit
 	explainWarning := 0
 	if *explainSel != "" {
 		if *explainSel != "all" {
@@ -159,6 +180,21 @@ func run() int {
 	default:
 		fmt.Fprintf(os.Stderr, "regionwiz: unknown -backend %q\n", *backend)
 		return 2
+	}
+
+	if *querySel != "" {
+		srcSite, dstSite, ok := strings.Cut(*querySel, ",")
+		if !ok || srcSite == "" || dstSite == "" {
+			fmt.Fprintf(os.Stderr, "regionwiz: -query wants \"src,dst\" allocation sites, got %q\n", *querySel)
+			return 2
+		}
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		return runQuery(ctx, flag.Args(), opts, srcSite, dstSite, *jsonOut)
 	}
 
 	if *watch {
@@ -287,6 +323,43 @@ func run() int {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "regionwiz: -memprofile: %v\n", err)
 			return 1
+		}
+	}
+	return code
+}
+
+// runQuery is the -query mode: one demand pair verdict per file set
+// instead of a full report. Exit codes mirror the report mode: 1 on
+// error, 3 when any set's verdict is inconsistent, 0 otherwise.
+func runQuery(ctx context.Context, args []string, opts regionwiz.Options, srcSite, dstSite string, jsonOut bool) int {
+	sets, err := fileSets(args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "regionwiz: %v\n", err)
+		return 1
+	}
+	code := 0
+	for _, set := range sets {
+		if len(sets) > 1 {
+			fmt.Printf("== %s ==\n", set.name)
+		}
+		ans, err := regionwiz.QueryPairFiles(ctx, opts, srcSite, dstSite, set.files...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "regionwiz: %s: %v\n", set.name, err)
+			code = 1
+			continue
+		}
+		if jsonOut {
+			data, err := json.MarshalIndent(ans, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "regionwiz: %v\n", err)
+				return 1
+			}
+			fmt.Println(string(data))
+		} else {
+			fmt.Println(ans)
+		}
+		if ans.Inconsistent && code == 0 {
+			code = 3
 		}
 	}
 	return code

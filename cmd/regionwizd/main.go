@@ -43,15 +43,31 @@
 //	                   on the analyze request) are answered by
 //	                   demand-driven replay ("replayed": true) with
 //	                   byte-identical trees.
+//	GET  /v1/query     ?key=<analyze response key>&src=<file:line[:col]>
+//	                   &dst=<file:line[:col]>
+//	                   -> {"schema": "regionwiz/query/v1", "key": "...",
+//	                       "answer": {...}}
+//	                   demand pair verdict: whether objects allocated at
+//	                   src may hold dangling pointers into objects
+//	                   allocated at dst, answered against the cached
+//	                   result without re-running the pair fixpoint. The
+//	                   verdict always agrees with the full report.
+//	                   Evicted keys answer 409 ("snapshot_gone"); an
+//	                   unknown allocation site answers 422. Throttled
+//	                   runs (points-to cap, capped contexts, origin
+//	                   policy) carry "throttled": true in the answer.
 //	GET  /v1/healthz   liveness probe
 //	GET  /v1/metrics   Prometheus text exposition (counters, gauges, and
 //	                   latency histograms: regionwizd_analyze_duration_seconds,
 //	                   regionwizd_queue_wait_seconds,
 //	                   regionwizd_phase_duration_seconds{phase=...},
-//	                   regionwizd_explain_duration_seconds, plus
+//	                   regionwizd_explain_duration_seconds,
+//	                   regionwizd_query_duration_seconds, plus
 //	                   regionwizd_warnings_total,
 //	                   regionwizd_explain_requests_total,
-//	                   regionwizd_explain_replays_total, and the
+//	                   regionwizd_explain_replays_total,
+//	                   regionwizd_query_requests_total,
+//	                   regionwizd_query_inconsistent_total, and the
 //	                   regionwizd_bdd_peak_nodes gauge — the largest
 //	                   single-request BDD node peak, never summed across
 //	                   requests)

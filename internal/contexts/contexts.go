@@ -56,6 +56,9 @@ type Numbering struct {
 	// kcfa is non-nil when the numbering was produced by NewKCFA; it
 	// switches MapContext to call-string semantics.
 	kcfa *kState
+	// origin is non-nil when the numbering was produced by NewOrigin;
+	// it switches MapContext to origin-token semantics.
+	origin *oState
 }
 
 // Number computes the context numbering for the reachable part of g.
@@ -164,6 +167,9 @@ func (n *Numbering) number(funcs []string) {
 func (n *Numbering) MapContext(caller string, callerCtx uint64, e Edge) uint64 {
 	if n.kcfa != nil {
 		return n.mapContextKCFA(caller, callerCtx, e)
+	}
+	if n.origin != nil {
+		return n.mapContextOrigin(caller, callerCtx, e)
 	}
 	if n.SCC[caller] == n.SCC[e.Callee] {
 		// Recursive (intra-component) calls reuse the caller context:

@@ -66,6 +66,15 @@ type Options struct {
 	// paper's Section 6.3 says it is investigating. 0 keeps call-path
 	// numbering.
 	KCFA int
+	// ContextPolicy names the context-numbering policy: PolicyClone
+	// (full call-path cloning, the default), PolicyKCFA (requires
+	// KCFA > 0 for the depth), or PolicyOrigin (allocation-site
+	// origin sensitivity: contexts are keyed by the nearest enclosing
+	// call into a region-creating or region-allocating function, per
+	// origin-go-tools). Normalize derives the default from KCFA;
+	// Validate rejects inconsistent combinations. Origin changes
+	// results and is fingerprinted.
+	ContextPolicy string
 	// ImplicitSpecs overrides the implicit-call registry (nil =
 	// callgraph.DefaultImplicitSpecs).
 	ImplicitSpecs []callgraph.ImplicitSpec
@@ -85,6 +94,13 @@ type Options struct {
 	// Solver (Solver wins when both are set) and mirrors the resolved
 	// value back.
 	BDD bdd.Config
+	// MaxRounds bounds the pointer fixpoint's iteration count.
+	//
+	// Deprecated: set Solver.MaxRounds. Normalize folds this alias
+	// into Solver (Solver wins when both are set) and mirrors the
+	// resolved value back; a conflicting nonzero pair is a config
+	// error at every Analyze* boundary.
+	MaxRounds int
 	// Solver groups how the analysis is solved: worker count, fixpoint
 	// budget, backend, and BDD sizing. See SolverOptions.
 	Solver SolverOptions
@@ -98,8 +114,21 @@ type Options struct {
 	Provenance bool
 }
 
+// Context policies (Options.ContextPolicy).
+const (
+	PolicyClone  = "clone"
+	PolicyKCFA   = "kcfa"
+	PolicyOrigin = "origin"
+)
+
 // prepare normalizes and validates options at an Analyze* boundary.
+// Alias conflicts are checked first, on the raw options: Normalize
+// folds the deprecated spellings into Solver and the disagreement
+// would vanish silently.
 func (o Options) prepare() (Options, error) {
+	if err := o.AliasConflicts(); err != nil {
+		return o, err
+	}
 	o = o.Normalize()
 	if err := o.Validate(); err != nil {
 		return o, err
@@ -263,6 +292,7 @@ func (a *Analysis) pointerConfig() pointer.Config {
 		HeapCloning:  *a.Opts.HeapCloning,
 		EntryParams:  len(a.Opts.Entries) > 0,
 		MaxRounds:    a.Opts.Solver.MaxRounds,
+		PtsLimit:     a.Opts.Solver.PtsLimit,
 		Workers:      a.Opts.Solver.Workers,
 		BDD:          a.Opts.Solver.BDD,
 	}
@@ -280,6 +310,33 @@ func (a *Analysis) pointerConfig() pointer.Config {
 		cfg.AllocFns[name] = true
 	}
 	return cfg
+}
+
+// originFns marks the defined functions whose bodies directly call a
+// region-creating or region-allocating extern of the configured API —
+// the origin spawn points of the PolicyOrigin context numbering.
+func (a *Analysis) originFns() map[string]bool {
+	isOrigin := func(name string) bool {
+		if _, ok := a.Opts.API.Create[name]; ok {
+			return true
+		}
+		_, ok := a.Opts.API.Alloc[name]
+		return ok
+	}
+	out := make(map[string]bool)
+	for fnName, f := range a.Prog.Funcs {
+		for _, in := range f.Instrs {
+			if in.Op != ir.Call {
+				continue
+			}
+			for _, name := range a.externNamesOf(in) {
+				if isOrigin(name) {
+					out[fnName] = true
+				}
+			}
+		}
+	}
+	return out
 }
 
 // externCallSites enumerates every reachable (ctx, CALL instruction,

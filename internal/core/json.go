@@ -16,6 +16,11 @@ type reportJSON struct {
 	Schema   string        `json:"schema"`
 	Warnings []warningJSON `json:"warnings"`
 	Stats    statsJSON     `json:"stats"`
+	// Precision is present exactly when the run's precision was
+	// throttled (context-cap merging, points-to-set collapse, or the
+	// origin context policy); fully precise runs keep the pre-existing
+	// byte shape.
+	Precision *precisionJSON `json:"precision,omitempty"`
 }
 
 type warningJSON struct {
@@ -27,6 +32,13 @@ type warningJSON struct {
 	SrcRegion  string `json:"src_region"`
 	DstRegion  string `json:"dst_region"`
 	ObjectPair int    `json:"object_pairs"`
+	Throttled  bool   `json:"throttled,omitempty"`
+}
+
+type precisionJSON struct {
+	Policy        string `json:"policy"`
+	CtxCapped     bool   `json:"ctx_capped,omitempty"`
+	PtrCappedVars int    `json:"ptr_capped_vars,omitempty"`
 }
 
 type phaseJSON struct {
@@ -69,7 +81,15 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 			SrcRegion:  w.SrcRegion,
 			DstRegion:  w.DstRegion,
 			ObjectPair: w.IPair.Pairs,
+			Throttled:  w.Throttled,
 		})
+	}
+	if r.Stats.Throttled() {
+		out.Precision = &precisionJSON{
+			Policy:        r.Stats.Policy,
+			CtxCapped:     r.Stats.CtxCapped,
+			PtrCappedVars: r.Stats.PtrCappedVars,
+		}
 	}
 	s := r.Stats
 	out.Stats = statsJSON{

@@ -29,6 +29,16 @@ type SolverOptions struct {
 	// (0 = unlimited). A cutoff changes results, so a nonzero value is
 	// fingerprinted.
 	MaxRounds int
+	// PtsLimit caps each variable's points-to set in the pointer
+	// solve (0 = unlimited). A set about to exceed the cap collapses
+	// to a tainted ⊤ object — a documented-unsound throttle
+	// (origin-go-tools' ptsLimit): loads through ⊤ yield ⊤, stores
+	// through ⊤ are dropped. Capped runs surface a ptr_capped_vars
+	// phase output, a report-level precision block, and per-warning
+	// "throttled" annotations; a nonzero cap changes results and is
+	// fingerprinted. The cap forces the sequential pointer solve for
+	// determinism (the collapse is schedule-sensitive).
+	PtsLimit int
 	// Backend selects the pair-computation engine.
 	Backend Backend
 	// BDD sizes the BDD kernel's node table and operation caches when
@@ -56,6 +66,21 @@ func (o Options) Validate() error {
 	}
 	if o.Solver.MaxRounds < 0 {
 		return Errf(ErrConfig, "", "options: negative Solver.MaxRounds %d", o.Solver.MaxRounds)
+	}
+	if o.Solver.PtsLimit < 0 {
+		return Errf(ErrConfig, "", "options: negative Solver.PtsLimit %d", o.Solver.PtsLimit)
+	}
+	switch o.ContextPolicy {
+	case "", PolicyClone, PolicyOrigin:
+		if o.KCFA > 0 && o.ContextPolicy != "" {
+			return Errf(ErrConfig, "", "options: ContextPolicy %q conflicts with KCFA=%d (k-CFA call strings are the %q policy)", o.ContextPolicy, o.KCFA, PolicyKCFA)
+		}
+	case PolicyKCFA:
+		if o.KCFA == 0 {
+			return Errf(ErrConfig, "", "options: ContextPolicy %q needs KCFA > 0 to set the call-string depth", o.ContextPolicy)
+		}
+	default:
+		return Errf(ErrConfig, "", "options: unknown ContextPolicy %q (want clone, kcfa, or origin)", o.ContextPolicy)
 	}
 	if o.Entry == "" && o.Entries == nil {
 		return Errf(ErrConfig, "", "options: empty Entry with nil Entries: no analysis root")
@@ -113,8 +138,39 @@ func (o Options) Normalize() Options {
 		o.Solver.BDD = o.BDD
 	}
 	o.BDD = o.Solver.BDD
+	if o.Solver.MaxRounds == 0 {
+		o.Solver.MaxRounds = o.MaxRounds
+	}
+	o.MaxRounds = o.Solver.MaxRounds
+	if o.ContextPolicy == "" {
+		if o.KCFA > 0 {
+			o.ContextPolicy = PolicyKCFA
+		} else {
+			o.ContextPolicy = PolicyClone
+		}
+	}
 	o.ExtraAllocFns = sortedUnique(o.ExtraAllocFns)
 	return o
+}
+
+// AliasConflicts rejects a deprecated top-level solver alias
+// (Backend, BDD, MaxRounds) set to a value that disagrees with its
+// Solver.* counterpart. Normalize alone would silently let the new
+// spelling win; at the Analyze* boundary (and in the analysis service)
+// a disagreement is a config error instead. Call it on the raw options
+// — after Normalize the two spellings always mirror, erasing the
+// conflict.
+func (o Options) AliasConflicts() error {
+	if o.Backend != ExplicitBackend && o.Solver.Backend != ExplicitBackend && o.Backend != o.Solver.Backend {
+		return Errf(ErrConfig, "", "options: deprecated Backend alias (%d) conflicts with Solver.Backend (%d); set one", o.Backend, o.Solver.Backend)
+	}
+	if o.BDD != (bdd.Config{}) && o.Solver.BDD != (bdd.Config{}) && o.BDD != o.Solver.BDD {
+		return Errf(ErrConfig, "", "options: deprecated BDD alias (%+v) conflicts with Solver.BDD (%+v); set one", o.BDD, o.Solver.BDD)
+	}
+	if o.MaxRounds != 0 && o.Solver.MaxRounds != 0 && o.MaxRounds != o.Solver.MaxRounds {
+		return Errf(ErrConfig, "", "options: deprecated MaxRounds alias (%d) conflicts with Solver.MaxRounds (%d); set one", o.MaxRounds, o.Solver.MaxRounds)
+	}
+	return nil
 }
 
 // sortedUnique sorts and deduplicates without mutating the input,
@@ -162,6 +218,16 @@ func (o Options) Fingerprint() string {
 	// BDD sizing are deliberately absent — neither can change results.
 	if o.Solver.MaxRounds != 0 {
 		fmt.Fprintf(h, "max_rounds=%d\n", o.Solver.MaxRounds)
+	}
+	// Same back-compat shape for the newer throttles: written only
+	// when non-default, so existing digests stay valid. Clone and
+	// kcfa policies are fully determined by the KCFA field above;
+	// only origin carries new information.
+	if o.Solver.PtsLimit != 0 {
+		fmt.Fprintf(h, "pts_limit=%d\n", o.Solver.PtsLimit)
+	}
+	if o.ContextPolicy == PolicyOrigin {
+		fmt.Fprintf(h, "policy=%s\n", o.ContextPolicy)
 	}
 	if o.ImplicitSpecs == nil {
 		io.WriteString(h, "implicit=default\n")

@@ -206,9 +206,12 @@ func analysisPhases() []pipeline.Phase[*Analysis] {
 			return nil
 		}), "funcs", "entries"),
 		pipeline.WithInputs(pipeline.New(PhaseContexts, func(_ context.Context, a *Analysis) error {
-			if a.Opts.KCFA > 0 {
+			switch {
+			case a.Opts.ContextPolicy == PolicyOrigin:
+				a.Numbering = contexts.NewOrigin(a.Graph, a.Opts.ContextCap, a.originFns())
+			case a.Opts.KCFA > 0:
 				a.Numbering = contexts.NewKCFA(a.Graph, a.Opts.KCFA, a.Opts.ContextCap)
-			} else {
+			default:
 				a.Numbering = contexts.Number(a.Graph, a.Opts.ContextCap)
 			}
 			return nil
@@ -304,6 +307,11 @@ func (a *Analysis) RelationSizes() map[string]int64 {
 	}
 	if a.Numbering != nil {
 		s["contexts"] = int64(a.Numbering.TotalContexts())
+		// Surfaced only when the cap actually merged contexts, so
+		// uncapped runs keep their golden phase outputs.
+		if a.Numbering.Capped {
+			s["ctx_capped"] = 1
+		}
 	}
 	if a.Ptr != nil {
 		for k, v := range a.Ptr.SolverStats() {

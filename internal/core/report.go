@@ -34,6 +34,22 @@ type Stats struct {
 	// Phases is the pipeline cost breakdown: one entry per executed
 	// phase, in execution order.
 	Phases []PhaseStat
+	// Precision-throttle visibility: a run that merged contexts
+	// (CtxCapped), collapsed points-to sets to ⊤ (PtrCappedVars), or
+	// ran the origin context policy is degraded relative to the full
+	// cloning analysis, and the report must say so (no silent
+	// degradation). Policy names the context policy that ran.
+	Policy        string
+	CtxCapped     bool
+	PtrCappedVars int
+}
+
+// Throttled reports whether the run's precision was visibly reduced:
+// context-cap merging, points-to-set collapse, or the origin context
+// policy. Throttled runs carry a "precision" block in the report JSON
+// and mark every warning.
+func (s Stats) Throttled() bool {
+	return s.CtxCapped || s.PtrCappedVars > 0 || s.Policy == PolicyOrigin
 }
 
 // PhaseStat is one pipeline phase's contribution to the run: wall
@@ -59,6 +75,10 @@ type Warning struct {
 	// Cause clusters warnings that share a root cause: the function
 	// containing the holder's allocation site.
 	Cause string
+	// Throttled marks a warning produced by a reduced-precision run
+	// (see Stats.Throttled): the pair may be an artifact of context
+	// merging or ⊤ collapse rather than of the program.
+	Throttled bool
 }
 
 // High reports the Section 5.4 rank.
@@ -150,25 +170,31 @@ func (a *Analysis) postProcess(pairs []ObjectPair) *Report {
 	for _, fn := range reach {
 		instrs += len(a.Prog.Funcs[fn].Instrs)
 	}
-	return &Report{
-		Warnings: warnings,
-		Stats: Stats{
-			R:          a.RegionCount(),
-			H:          a.ObjectCount(),
-			Sub:        a.subEdges,
-			Own:        a.ownEdges,
-			Heap:       len(a.AccessEdges),
-			RPairs:     a.RPairCount(),
-			OPairs:     len(pairs),
-			IPairs:     len(ipairs),
-			High:       high,
-			Contexts:   a.Numbering.TotalContexts(),
-			Funcs:      len(reach),
-			Instrs:     instrs,
-			Causes:     len(causes),
-			HighCauses: len(highCauses),
-		},
+	stats := Stats{
+		R:             a.RegionCount(),
+		H:             a.ObjectCount(),
+		Sub:           a.subEdges,
+		Own:           a.ownEdges,
+		Heap:          len(a.AccessEdges),
+		RPairs:        a.RPairCount(),
+		OPairs:        len(pairs),
+		IPairs:        len(ipairs),
+		High:          high,
+		Contexts:      a.Numbering.TotalContexts(),
+		Funcs:         len(reach),
+		Instrs:        instrs,
+		Causes:        len(causes),
+		HighCauses:    len(highCauses),
+		Policy:        a.Opts.ContextPolicy,
+		CtxCapped:     a.Numbering.Capped,
+		PtrCappedVars: a.Ptr.CappedVars(),
 	}
+	if stats.Throttled() {
+		for i := range warnings {
+			warnings[i].Throttled = true
+		}
+	}
+	return &Report{Warnings: warnings, Stats: stats}
 }
 
 // describe renders one I-pair as a Warning.
@@ -215,6 +241,10 @@ func (a *Analysis) objPos(obj int) string {
 			return fmt.Sprintf("%q", a.Prog.Strings[o.Str].Value)
 		}
 		return "string"
+	case pointer.TopObj:
+		// The tainted ⊤ a PtsLimit overflow collapses to: it has no
+		// allocation site.
+		return "<top>"
 	}
 	return "?"
 }

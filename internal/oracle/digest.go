@@ -27,6 +27,13 @@ func CanonicalReport(r *core.Report) []byte {
 	fmt.Fprintf(&sb, "stats R=%d H=%d sub=%d own=%d heap=%d rpairs=%d opairs=%d ipairs=%d high=%d contexts=%d funcs=%d instrs=%d causes=%d highcauses=%d\n",
 		s.R, s.H, s.Sub, s.Own, s.Heap, s.RPairs, s.OPairs, s.IPairs,
 		s.High, s.Contexts, s.Funcs, s.Instrs, s.Causes, s.HighCauses)
+	// The throttle marking is result-bearing: parity and determinism
+	// must cover it. Written only for throttled runs so pre-existing
+	// digests of fully precise runs stay valid.
+	if s.Throttled() {
+		fmt.Fprintf(&sb, "precision policy=%s ctx_capped=%t ptr_capped_vars=%d\n",
+			s.Policy, s.CtxCapped, s.PtrCappedVars)
+	}
 	return []byte(sb.String())
 }
 

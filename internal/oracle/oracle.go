@@ -46,6 +46,10 @@ const (
 	// KindDeterminism: two runs of the same configuration and backend
 	// produced different reports.
 	KindDeterminism = "determinism"
+	// KindThrottle: the pipeline lost precision (capped contexts,
+	// collapsed points-to sets, origin policy) without marking the
+	// report throttled — silent precision loss.
+	KindThrottle = "throttle"
 )
 
 // Violation is one invariant failure found by the harness.
@@ -137,8 +141,14 @@ type AnalysisConfig struct {
 // results-neutral too: collections and reorders must not perturb
 // reports), the context-insensitive ablation (ContextCap 1 —
 // documented unsound: merging loses the distinctions
-// TestContextSensitivityMatters pins), and 2-CFA numbering (bounded
-// call strings merge deep paths the same way).
+// TestContextSensitivityMatters pins), 2-CFA numbering (bounded call
+// strings merge deep paths the same way), the points-to cap (⊤
+// collapse past one location per variable — tight enough to actually
+// fire on the generated corpus), and allocation-site origin
+// contexts. The three throttled configurations (cap1 via ContextCap,
+// ptscap, origin) must mark every case where the throttle bit —
+// harness-enforced by Check via the canonical report's precision
+// line.
 func DefaultConfigs() []AnalysisConfig {
 	return []AnalysisConfig{
 		{Name: "default", Opts: core.Options{}, Sound: true},
@@ -154,22 +164,44 @@ func DefaultConfigs() []AnalysisConfig {
 			SameReportsAs: "default"},
 		{Name: "cap1", Opts: core.Options{ContextCap: 1}},
 		{Name: "kcfa2", Opts: core.Options{KCFA: 2}},
+		{Name: "ptscap",
+			Opts: core.Options{Solver: core.SolverOptions{PtsLimit: 1}}},
+		{Name: "origin",
+			Opts: core.Options{ContextPolicy: core.PolicyOrigin}},
 	}
 }
 
+// Allowlist reasons, shared across configurations that lose precision
+// the same way so the sweep summary's AllowedByRule buckets aggregate
+// by cause, not by knob spelling.
+const (
+	// ReasonContextMerge covers every configuration whose context
+	// numbering merges the region instances the pair rules must keep
+	// distinct: ContextCap=1, bounded k-CFA call strings, and
+	// allocation-site origin contexts all collapse deep call paths
+	// (the ablations of Sections 6.3 and 7; core's
+	// TestContextSensitivityMatters demonstrates the lost warning).
+	ReasonContextMerge = "merged contexts collapse the region instances the pair rules need; documented unsound precision ablation (Sections 6.3, 7)"
+	// ReasonPtsCap covers the points-to throttle: an overflowing set
+	// collapses to the tainted ⊤ object, whose region membership is
+	// unknown, so accesses routed through it can fall outside every
+	// checked pair. Capped runs are marked throttled.
+	ReasonPtsCap = "points-to cap collapses overflowing sets to the tainted ⊤ object; capped runs are marked throttled and misses are documented imprecision"
+)
+
 // DefaultAllowlist returns the documented imprecision classes of the
-// reduced-precision configurations. Context merging (cap1) and
-// bounded call strings (kcfa2) are known-unsound ablations — merging
-// collapses the region instances whose distinctness the pair rules
-// need (core's TestContextSensitivityMatters demonstrates the lost
-// warning) — so every soundness class is allowlisted for them. The
-// default configuration has no entries: any miss there is a bug.
+// reduced-precision configurations. Context merging (cap1), bounded
+// call strings (kcfa2), and origin contexts share one reason — all
+// three merge the region instances whose distinctness the pair rules
+// need — and the points-to cap has its own. Every soundness class is
+// allowlisted for them; the default configuration has no entries: any
+// miss there is a bug.
 func DefaultAllowlist() []AllowRule {
 	return []AllowRule{
-		{Config: "cap1", Class: "*",
-			Reason: "ContextCap=1 merges contexts; documented unsound ablation (Section 7)"},
-		{Config: "kcfa2", Class: "*",
-			Reason: "2-CFA call strings merge deep call paths; documented unsound ablation (Section 6.3)"},
+		{Config: "cap1", Class: "*", Reason: ReasonContextMerge},
+		{Config: "kcfa2", Class: "*", Reason: ReasonContextMerge},
+		{Config: "origin", Class: "*", Reason: ReasonContextMerge},
+		{Config: "ptscap", Class: "*", Reason: ReasonPtsCap},
 	}
 }
 
@@ -357,6 +389,22 @@ func (h *Harness) Check(c *Case) (*CaseResult, error) {
 			}
 		}
 
+		// Throttle visibility: precision lost inside the pipeline must
+		// reach the report stats, or downstream consumers read a capped
+		// run as a fully precise one.
+		for _, run := range []struct {
+			name string
+			a    *core.Analysis
+		}{{"explicit", exp}, {"bdd", bdd}} {
+			if d := throttleMismatch(run.a); d != "" {
+				res.Violations = append(res.Violations, Violation{
+					Kind:   KindThrottle,
+					Config: cfg.Name + "/" + run.name,
+					Detail: d,
+				})
+			}
+		}
+
 		// Soundness: every dynamic pair covered by a static warning.
 		static := make(map[string]bool)
 		for _, ps := range exp.PairSites() {
@@ -451,6 +499,25 @@ func (h *Harness) runDynamic(info *cminor.Info, files []*cminor.File, cls *class
 		}
 	}
 	return out, aborts, nil
+}
+
+// throttleMismatch reports the first way a run's internal precision
+// loss failed to reach its report stats ("" when the marking is
+// faithful). Capped context numbering, collapsed points-to sets, and
+// the origin policy must all be visible in the report — silent loss
+// is exactly what the throttle contract forbids.
+func throttleMismatch(a *core.Analysis) string {
+	s := a.Report.Stats
+	if got := a.Ptr.CappedVars(); got != s.PtrCappedVars {
+		return fmt.Sprintf("pointer solver capped %d variable(s) but the report marks ptr_capped_vars=%d", got, s.PtrCappedVars)
+	}
+	if a.Numbering.Capped != s.CtxCapped {
+		return fmt.Sprintf("context numbering capped=%t but the report marks ctx_capped=%t", a.Numbering.Capped, s.CtxCapped)
+	}
+	if (a.Opts.ContextPolicy == core.PolicyOrigin) != (s.Policy == core.PolicyOrigin) {
+		return fmt.Sprintf("run used context policy %q but the report marks policy=%q", a.Opts.ContextPolicy, s.Policy)
+	}
+	return ""
 }
 
 func isBudget(err error) bool {

@@ -47,11 +47,14 @@ type Summary struct {
 	// DynamicViolations counts the concrete ground-truth pairs
 	// observed across all cases.
 	DynamicViolations int `json:"dynamic_violations"`
-	// Soundness/Parity/Determinism count invariant failures;
-	// "allowed" are the explicitly allowlisted imprecision classes.
+	// Soundness/Parity/Determinism/Throttle count invariant failures;
+	// "allowed" are the explicitly allowlisted imprecision classes
+	// (only soundness misses can be allowlisted — parity, determinism,
+	// and silent-throttle failures are always hard).
 	Soundness   ViolationCount `json:"soundness"`
 	Parity      ViolationCount `json:"parity"`
 	Determinism ViolationCount `json:"determinism"`
+	Throttle    ViolationCount `json:"throttle"`
 	// PatternPlanted / PatternObserved count, per planted pattern
 	// kind, the cases planting it and the cases where a dynamic
 	// violation was classified to it — the oracle's coverage of the
@@ -149,6 +152,8 @@ func Sweep(ctx context.Context, cfg SweepConfig) (*Summary, error) {
 				count = &sum.Parity
 			case KindDeterminism:
 				count = &sum.Determinism
+			case KindThrottle:
+				count = &sum.Throttle
 			}
 			if v.Allowed {
 				count.Allowed++

@@ -52,6 +52,14 @@ type BDDResult struct {
 	// Converged mirrors Result.Converged for the relational solver
 	// (always true today: the fixpoint runs unbounded).
 	Converged bool
+
+	// TopID is the tainted ⊤ object's ID when Config.PtsLimit > 0
+	// (-1 otherwise); CappedVars counts the variables whose read-out
+	// sets were collapsed to {⊤}. The relational solve itself runs
+	// uncapped; the cap is applied to the read-out, which keeps the
+	// BDD fixpoint monotone and the capped sets deterministic.
+	TopID      int
+	CappedVars int
 }
 
 // AnalyzeBDD computes the relational points-to result. cfg's
@@ -61,9 +69,10 @@ type BDDResult struct {
 func AnalyzeBDD(ctx context.Context, n *contexts.Numbering, cfg Config) *BDDResult {
 	prog := n.G.Prog
 	br := &BDDResult{
-		Prog: prog,
-		vp:   make(map[*ir.Var]map[Loc]bool),
-		heap: make(map[heapKey]map[Loc]bool),
+		Prog:  prog,
+		vp:    make(map[*ir.Var]map[Loc]bool),
+		heap:  make(map[heapKey]map[Loc]bool),
+		TopID: -1,
 	}
 
 	// --- collect constraints from the IR, context-insensitively ---
@@ -76,6 +85,10 @@ func AnalyzeBDD(ctx context.Context, n *contexts.Numbering, cfg Config) *BDDResu
 		br.Objects = append(br.Objects, o)
 		objID[o] = id
 		return id
+	}
+	if cfg.PtsLimit > 0 {
+		// Interned first, like the explicit solver, so ⊤ is ID 0.
+		br.TopID = intern(Obj{Kind: TopObj})
 	}
 
 	type assignC struct{ d, s *ir.Var }
@@ -435,6 +448,15 @@ func AnalyzeBDD(ctx context.Context, n *contexts.Numbering, cfg Config) *BDDResu
 		set[l] = true
 		return true
 	})
+	if cfg.PtsLimit > 0 {
+		top := Loc{Obj: br.TopID}
+		for v, set := range br.vp {
+			if len(set) > cfg.PtsLimit {
+				br.vp[v] = map[Loc]bool{top: true}
+				br.CappedVars++
+			}
+		}
+	}
 	return br
 }
 

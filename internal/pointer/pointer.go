@@ -41,6 +41,12 @@ const (
 	// pointer parameter of each analysis root denotes a distinct
 	// unknown object/region owned by the caller.
 	ParamObj
+	// TopObj is the tainted ⊤ object a Config.PtsLimit overflow
+	// collapses to: a points-to set that would exceed the cap becomes
+	// {⊤}, which absorbs every later add. At most one TopObj exists
+	// per Result, interned before any other object when the cap is
+	// on.
+	TopObj
 )
 
 // Obj is one abstract object.
@@ -88,6 +94,15 @@ type Config struct {
 	EntryParams bool
 	// MaxRounds bounds fixpoint iterations (0 = unlimited).
 	MaxRounds int
+	// PtsLimit caps each variable's points-to set (0 = unlimited). A
+	// set about to exceed the cap collapses to the tainted ⊤ object;
+	// loads through ⊤ yield ⊤ and stores through ⊤ are dropped, so a
+	// capped solve is a documented-unsound throttle, not a sound
+	// over-approximation. Capped variables are counted by
+	// CappedVars. A nonzero cap forces the sequential solver: the
+	// collapse is schedule-sensitive, and the deterministic sweep
+	// order is what keeps reports identical across runs.
+	PtsLimit int
 	// Workers > 1 solves the fixpoint in parallel: the call graph's
 	// SCC DAG is scheduled leaf-to-root over a bounded worker pool,
 	// with per-task deltas committed between levels (parallel.go).
@@ -141,6 +156,11 @@ type Result struct {
 	// Sched describes the parallel solver's schedule and per-level
 	// wall times (nil for the sequential solve).
 	Sched *SchedStats
+
+	// topID is the interned TopObj's ID when Config.PtsLimit > 0, -1
+	// otherwise; capped records every variable whose set collapsed.
+	topID  int
+	capped map[varKey]bool
 }
 
 type varKey2 struct {
@@ -165,6 +185,7 @@ func AnalyzeContext(ctx context.Context, n *contexts.Numbering, cfg Config) *Res
 		heap:      make(map[heapKey]map[Loc]bool),
 		objID:     make(map[Obj]int),
 		allocAt:   make(map[varKey2]int),
+		topID:     -1,
 	}
 	r.solve(ctx)
 	return r
@@ -193,6 +214,20 @@ func (r *Result) addPts(k varKey, l Loc) bool {
 		set = make(map[Loc]bool)
 		r.pts[k] = set
 	}
+	if r.topID >= 0 {
+		top := Loc{Obj: r.topID}
+		if set[top] {
+			return false // {⊤} absorbs every add
+		}
+		if l == top || (!set[l] && len(set) >= r.Config.PtsLimit) {
+			for x := range set {
+				delete(set, x)
+			}
+			set[top] = true
+			r.capped[k] = true
+			return true
+		}
+	}
 	if set[l] {
 		return false
 	}
@@ -212,6 +247,14 @@ func (r *Result) addHeap(k heapKey, l Loc) bool {
 	set[l] = true
 	return true
 }
+
+// TopObjID returns the tainted ⊤ object's ID, or -1 when no cap was
+// configured (no TopObj exists then).
+func (r *Result) TopObjID() int { return r.topID }
+
+// CappedVars counts the (variable, context) keys whose points-to set
+// collapsed to {⊤} under Config.PtsLimit.
+func (r *Result) CappedVars() int { return len(r.capped) }
 
 // PointsTo returns the location set of v in ctx, sorted.
 func (r *Result) PointsTo(v *ir.Var, ctx uint64) []Loc {
@@ -286,13 +329,19 @@ func (r *Result) SolverStats() map[string]int64 {
 	if r.Converged {
 		converged = 1
 	}
-	return map[string]int64{
+	out := map[string]int64{
 		"ptr_rounds":     int64(r.Rounds),
 		"ptr_converged":  converged,
 		"ptr_objects":    int64(len(r.Objects)),
 		"pts_edges":      int64(r.PtsSize()),
 		"ptr_heap_edges": int64(r.HeapSize()),
 	}
+	// Emitted only when the cap actually bit, so uncapped runs keep
+	// their golden phase outputs byte-identical.
+	if n := r.CappedVars(); n > 0 {
+		out["ptr_capped_vars"] = int64(n)
+	}
+	return out
 }
 
 func sortedLocs(set map[Loc]bool) []Loc {
@@ -318,6 +367,12 @@ func (r *Result) solve(ctx context.Context) {
 	if sp != nil {
 		sp.Attrs(trace.Int("funcs", len(funcs)))
 	}
+	if r.Config.PtsLimit > 0 {
+		// Intern ⊤ before anything else so its ID (0) is independent
+		// of the program, and collapse decisions are deterministic.
+		r.capped = make(map[varKey]bool)
+		r.topID = r.intern(Obj{Kind: TopObj})
+	}
 	if r.Config.EntryParams {
 		for _, entry := range n.G.Entries {
 			f := r.Prog.Funcs[entry]
@@ -335,7 +390,12 @@ func (r *Result) solve(ctx context.Context) {
 			}
 		}
 	}
-	if r.Config.Workers > 1 {
+	if r.Config.Workers > 1 && r.Config.PtsLimit == 0 {
+		// The ⊤ collapse is non-monotone (stores through ⊤ are
+		// dropped), so a chaotic parallel schedule could reach
+		// different post-collapse states. A capped solve therefore
+		// always runs the deterministic sequential sweep; front-end
+		// and pairs-phase parallelism are unaffected.
 		r.solveParallel(sp, funcs)
 		return
 	}
@@ -482,12 +542,20 @@ func (r *Result) step(fn string, ctx uint64, in *ir.Instr) bool {
 		base := r.evalOpd(in.Base, ctx)
 		locs := make([]Loc, len(base))
 		for i, l := range base {
+			if l.Obj == r.topID && r.topID >= 0 {
+				locs[i] = l // ⊤ has no fields: shifting stays ⊤
+				continue
+			}
 			locs[i] = Loc{Obj: l.Obj, Off: l.Off + in.Off}
 		}
 		flowTo(in.Dst, locs)
 	case ir.Load:
 		var locs []Loc
 		for _, b := range r.evalOpd(in.Base, ctx) {
+			if b.Obj == r.topID && r.topID >= 0 {
+				locs = append(locs, b) // load through ⊤ yields ⊤
+				continue
+			}
 			for l := range r.heap[heapKey{b.Obj, b.Off + in.Off}] {
 				locs = append(locs, l)
 			}
@@ -496,6 +564,9 @@ func (r *Result) step(fn string, ctx uint64, in *ir.Instr) bool {
 	case ir.Store:
 		src := r.evalOpd(in.Src, ctx)
 		for _, b := range r.evalOpd(in.Base, ctx) {
+			if b.Obj == r.topID && r.topID >= 0 {
+				continue // store through ⊤ dropped (unsound throttle)
+			}
 			k := heapKey{b.Obj, b.Off + in.Off}
 			for _, l := range src {
 				if r.addHeap(k, l) {
@@ -559,6 +630,9 @@ func (r *Result) stepCall(fn string, ctx uint64, in *ir.Instr) bool {
 			id := r.allocate(name, ctx, in)
 			if argIdx < len(in.Args) {
 				for _, b := range r.evalOpd(in.Args[argIdx], ctx) {
+					if b.Obj == r.topID && r.topID >= 0 {
+						continue // store through ⊤ dropped
+					}
 					if r.addHeap(heapKey{b.Obj, b.Off}, Loc{Obj: id}) {
 						changed = true
 					}

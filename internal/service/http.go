@@ -104,10 +104,22 @@ type ExplainResponse struct {
 	Explanations []*core.Explanation `json:"explanations"`
 }
 
+// QueryResponse is the GET /v1/query success body.
+type QueryResponse struct {
+	// Schema versions the answer encoding ("regionwiz/query/v1"); the
+	// embedded answer carries the same marker.
+	Schema string `json:"schema"`
+	// Key is the analysis result the query ran against.
+	Key string `json:"key"`
+	// Answer is the pair verdict.
+	Answer *core.PairAnswer `json:"answer"`
+}
+
 // NewHandler exposes a Service over HTTP:
 //
 //	POST /v1/analyze  — run (or replay) an analysis
 //	GET  /v1/explain  — why-provenance trees for a cached result
+//	GET  /v1/query    — demand pair verdict against a cached result
 //	GET  /v1/healthz  — liveness
 //	GET  /v1/metrics  — counters in Prometheus text exposition format
 //	GET  /v1/stats    — counters as JSON
@@ -118,6 +130,9 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("/v1/explain", func(w http.ResponseWriter, r *http.Request) {
 		handleExplain(s, w, r)
+	})
+	mux.HandleFunc("/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r)
 	})
 	mux.HandleFunc("/v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -263,6 +278,39 @@ func handleExplain(s *Service, w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleQuery serves GET /v1/query?key=<result key>&src=<pos>&dst=<pos>.
+// The key names a completed /v1/analyze response; src and dst are
+// "file:line" or "file:line:col" allocation-site positions. A key that
+// has been evicted from the result cache answers 409 with kind
+// "snapshot_gone": re-run the analysis (same sources, same options —
+// the key is content-addressed, so it comes back identical) and retry.
+func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeError(ctx, w, http.StatusMethodNotAllowed,
+			core.Errf(core.ErrConfig, "", "query wants GET, got %s", r.Method))
+		return
+	}
+	q := r.URL.Query()
+	key, src, dst := q.Get("key"), q.Get("src"), q.Get("dst")
+	if key == "" || src == "" || dst == "" {
+		writeError(ctx, w, http.StatusBadRequest, core.Errf(core.ErrConfig, "",
+			"query wants ?key=<analyze response key>&src=<file:line[:col]>&dst=<file:line[:col]>"))
+		return
+	}
+	res, err := s.Query(ctx, key, src, dst)
+	if err != nil {
+		writeError(ctx, w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Schema: core.QuerySchemaV1,
+		Key:    key,
+		Answer: res.Answer,
+	})
+}
+
 // statusFor maps error kinds to HTTP statuses.
 func statusFor(err error) int {
 	var aerr *core.Error
@@ -352,6 +400,8 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 	counter("regionwizd_warnings_total", st.Warnings, "Warnings reported across every pipeline run.")
 	counter("regionwizd_explain_requests_total", st.ExplainRequests, "Provenance (explain) queries served.")
 	counter("regionwizd_explain_replays_total", st.ExplainReplays, "Explain queries answered by demand-driven replay.")
+	counter("regionwizd_query_requests_total", st.QueryRequests, "Demand pair queries served.")
+	counter("regionwizd_query_inconsistent_total", st.QueryInconsistent, "Demand pair queries with an inconsistent verdict.")
 	gauge("regionwizd_inflight", st.Inflight, "Pipeline runs executing now.")
 	gauge("regionwizd_queued", st.Queued, "Requests waiting for a worker slot.")
 	gauge("regionwizd_cache_entries", int64(st.CacheEntries), "Result cache population.")
@@ -402,6 +452,8 @@ func writeMetrics(w http.ResponseWriter, st Stats) {
 		"Admission queue wait of queued requests.", "", st.Histograms["queue_wait"])
 	writeHistogram(&sb, "regionwizd_explain_duration_seconds",
 		"Explain (provenance) query latency.", "", st.Histograms["explain"])
+	writeHistogram(&sb, "regionwizd_query_duration_seconds",
+		"Demand pair query latency.", "", st.Histograms["query"])
 	hnames := make([]string, 0, len(st.Histograms))
 	for name := range st.Histograms {
 		if strings.HasPrefix(name, "phase:") {

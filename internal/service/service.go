@@ -253,6 +253,12 @@ func (s *Service) serve(ctx context.Context, opts core.Options, sources map[stri
 }
 
 func (s *Service) analyze(ctx context.Context, opts core.Options, sources map[string]string, delta *deltaReq) (*Result, error) {
+	// Alias conflicts must be checked on the raw options: Normalize
+	// mirrors the deprecated spellings into Solver and the
+	// disagreement would vanish silently.
+	if err := opts.AliasConflicts(); err != nil {
+		return nil, err
+	}
 	opts = opts.Normalize()
 	if opts.Solver.BDD == (bdd.Config{}) {
 		opts.Solver.BDD = s.cfg.BDD
@@ -515,6 +521,49 @@ func (s *Service) Explain(ctx context.Context, key string, warning int) (*Explai
 		return nil, err
 	}
 	return out, nil
+}
+
+// QueryResult is one served demand pair query.
+type QueryResult struct {
+	// Answer is the pair verdict (schema "regionwiz/query/v1").
+	Answer *core.PairAnswer
+}
+
+// Query answers a demand-driven pair query against a completed
+// request, named by its content-addressed key: may the objects
+// allocated at src hold pointers into the objects allocated at dst
+// across regions with no subregion order? src and dst are "file:line"
+// or "file:line:col" allocation-site positions. The query runs over
+// the cached Result's analysis state — only the two sites' access
+// edges are checked, no global pair fixpoint — and its verdict agrees
+// with the cached report. If the key has been evicted — or never
+// completed — Query fails with an ErrSnapshotGone-kind error (HTTP
+// 409) and the client re-runs the analysis first.
+func (s *Service) Query(ctx context.Context, key, src, dst string) (*QueryResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errClosed()
+	}
+	res, ok := s.cache.get(key)
+	s.mu.Unlock()
+	if !ok {
+		return nil, core.Errf(core.ErrSnapshotGone, "",
+			"result %.12s… is gone (evicted or never computed); re-run the analysis and retry", key)
+	}
+	t0 := time.Now()
+	defer func() { s.stats.queryHist.observe(time.Since(t0)) }()
+	s.stats.queryRequests.Add(1)
+	// The cached Analysis is shared and immutable; QueryPair is
+	// read-only over it, so concurrent queries on one key are safe.
+	ans, err := res.Analysis.QueryPair(ctx, src, dst)
+	if err != nil {
+		return nil, err
+	}
+	if ans.Inconsistent {
+		s.stats.queryInconsistent.Add(1)
+	}
+	return &QueryResult{Answer: ans}, nil
 }
 
 // Stats snapshots the service counters.

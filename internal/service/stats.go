@@ -141,6 +141,11 @@ type Stats struct {
 	// or provenance-off cached results) rather than recorded witnesses.
 	ExplainRequests uint64 `json:"explain_requests"`
 	ExplainReplays  uint64 `json:"explain_replays"`
+	// QueryRequests counts demand pair queries served;
+	// QueryInconsistent counts the subset whose verdict was
+	// inconsistent.
+	QueryRequests     uint64 `json:"query_requests"`
+	QueryInconsistent uint64 `json:"query_inconsistent"`
 	// Histograms holds the latency distributions: "analyze" (end-to-end
 	// Analyze latency), "queue_wait" (admission queue wait), and
 	// "phase:<name>" (per-phase pipeline duration). Only histograms
@@ -156,6 +161,7 @@ type collector struct {
 	parallelSolves, solverWorkersUsed                  atomic.Uint64
 	warnings                                           atomic.Uint64
 	explainRequests, explainReplays                    atomic.Uint64
+	queryRequests, queryInconsistent                   atomic.Uint64
 	inflight, queued                                   atomic.Int64
 	queueWaits                                         atomic.Uint64
 	queueWaitNS, maxQueueWaitNS                        atomic.Int64
@@ -163,6 +169,7 @@ type collector struct {
 	analyzeHist histogram
 	queueHist   histogram
 	explainHist histogram
+	queryHist   histogram
 
 	mu         sync.Mutex
 	phases     map[string]*PhaseTotal
@@ -273,6 +280,8 @@ func (c *collector) snapshot() Stats {
 		Warnings:            c.warnings.Load(),
 		ExplainRequests:     c.explainRequests.Load(),
 		ExplainReplays:      c.explainReplays.Load(),
+		QueryRequests:       c.queryRequests.Load(),
+		QueryInconsistent:   c.queryInconsistent.Load(),
 	}
 	s.Histograms = make(map[string]HistogramSnapshot)
 	if hs := c.analyzeHist.snapshot(); hs.Count > 0 {
@@ -283,6 +292,9 @@ func (c *collector) snapshot() Stats {
 	}
 	if hs := c.explainHist.snapshot(); hs.Count > 0 {
 		s.Histograms["explain"] = hs
+	}
+	if hs := c.queryHist.snapshot(); hs.Count > 0 {
+		s.Histograms["query"] = hs
 	}
 	c.mu.Lock()
 	if len(c.phases) > 0 {

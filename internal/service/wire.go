@@ -58,6 +58,11 @@ type RequestOptions struct {
 	// KCFA switches to k-CFA call strings of this depth (0 keeps
 	// call-path numbering).
 	KCFA int `json:"kcfa,omitempty"`
+	// ContextPolicy names the context-numbering policy: "clone" (full
+	// call-path cloning, the default), "kcfa" (requires kcfa > 0), or
+	// "origin" (allocation-site origin sensitivity). Origin changes
+	// results and is part of the cache key.
+	ContextPolicy string `json:"context_policy,omitempty"`
 	// Entries, when present, analyzes an open program with the listed
 	// roots (empty list = every defined function).
 	Entries []string `json:"entries,omitempty"`
@@ -85,6 +90,11 @@ type RequestOptions struct {
 	// SolverMaxRounds bounds fixpoint rounds (0 = unlimited). A nonzero
 	// bound can change results and is part of the cache key.
 	SolverMaxRounds int `json:"solver_max_rounds,omitempty"`
+	// PtsLimit caps each variable's points-to set (0 = unlimited);
+	// overflow collapses to a tainted ⊤ object and the report is
+	// marked throttled. A nonzero cap changes results and is part of
+	// the cache key.
+	PtsLimit int `json:"pts_limit,omitempty"`
 	// Provenance records derivation witnesses during the solve
 	// (explicit backend only) so later /v1/explain queries answer from
 	// recorded provenance instead of demand-driven replay. It never
@@ -108,6 +118,7 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		Solver: core.SolverOptions{
 			Workers:   ro.SolverWorkers,
 			MaxRounds: ro.SolverMaxRounds,
+			PtsLimit:  ro.PtsLimit,
 			BDD: bdd.Config{
 				NodeSize:    ro.BDDNodeSize,
 				CacheRatio:  ro.BDDCacheRatio,
@@ -134,6 +145,12 @@ func (ro RequestOptions) ToOptions() (core.Options, error) {
 		opts.Solver.Backend = core.BDDBackend
 	default:
 		return core.Options{}, core.Errf(core.ErrConfig, "", "options: unknown backend %q (want explicit or bdd)", ro.Backend)
+	}
+	switch ro.ContextPolicy {
+	case "", core.PolicyClone, core.PolicyKCFA, core.PolicyOrigin:
+		opts.ContextPolicy = ro.ContextPolicy
+	default:
+		return core.Options{}, core.Errf(core.ErrConfig, "", "options: unknown context_policy %q (want clone, kcfa, or origin)", ro.ContextPolicy)
 	}
 	return opts, nil
 }
